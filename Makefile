@@ -1,0 +1,20 @@
+# Convenience targets.  `install` uses the legacy editable path because
+# this environment is offline and has no `wheel` package (PEP-517
+# editable builds need it); with wheel available, `pip install -e .`
+# works too.
+
+.PHONY: install test bench figures all
+
+install:
+	python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.experiments all --plot
+
+all: install test bench

@@ -1,0 +1,48 @@
+"""Figure 2 regeneration: distributed vs local performance of the
+concurrent solver metaapplication (paper §4.1).
+
+Prints the four series the paper plots (execution time vs problem size
+for the direct method on HOST 1, the iterative method on HOST 2, the
+distributed-servers total and the same-server total).
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.fig2_solvers import PAPER_SIZES, run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_full_sweep(benchmark):
+    rows = benchmark.pedantic(run_fig2, kwargs={"sizes": PAPER_SIZES},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Figure 2: execution time (virtual s) vs problem size"))
+    benchmark.extra_info["rows"] = [
+        (r.n, round(r.t_direct, 2), round(r.t_iterative, 2),
+         round(r.t_distributed, 2), round(r.t_same_server, 2))
+        for r in rows
+    ]
+    # The paper's qualitative claims hold at every size.
+    for r in rows:
+        assert r.t_distributed < r.t_same_server
+        assert r.t_distributed >= max(r.t_direct, r.t_iterative)
+        assert r.difference < 1e-4
+    # and the gap widens with problem size
+    gaps = [r.t_same_server - r.t_distributed for r in rows]
+    assert gaps[-1] > gaps[0]
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("n", [400, 800, 1200])
+def test_fig2_single_size(benchmark, n):
+    rows = benchmark.pedantic(run_fig2, kwargs={"sizes": (n,)},
+                              rounds=1, iterations=1)
+    r = rows[0]
+    benchmark.extra_info.update(
+        n=n, t_direct=round(r.t_direct, 2),
+        t_iterative=round(r.t_iterative, 2),
+        t_distributed=round(r.t_distributed, 2),
+        t_same_server=round(r.t_same_server, 2),
+    )
+    assert r.t_distributed < r.t_same_server

@@ -1,0 +1,43 @@
+"""Figure 4 regeneration: centralized vs distributed single objects on a
+parallel server (paper §4.2), both panels.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.fig4_dna import PAPER_PROCS, run_fig4, total_match_work
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_full_sweep(benchmark):
+    rows = benchmark.pedantic(run_fig4, kwargs={"procs": PAPER_PROCS},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        "Figure 4: client execution time (virtual s) vs server processors\n"
+        f"(total single-object query work: {total_match_work():.0f} s)"))
+    benchmark.extra_info["rows"] = [
+        (r.procs, round(r.t_centralized, 2), round(r.t_distributed, 2),
+         round(r.difference, 2))
+        for r in rows
+    ]
+    by_p = {r.procs: r for r in rows}
+    # Left panel: centralized is never faster; both fall with processors.
+    for p in range(2, 9):
+        assert by_p[p].t_distributed < by_p[p].t_centralized
+        assert by_p[p].t_centralized < by_p[p - 1].t_centralized
+    # Right panel: the 2 -> 3 dip from count-not-weight balancing.
+    assert by_p[3].difference < by_p[2].difference
+    assert by_p[4].difference > by_p[3].difference
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("placement", ["centralized", "distributed"])
+def test_fig4_one_placement(benchmark, placement):
+    from repro.experiments.fig4_dna import run_one
+
+    total = benchmark.pedantic(run_one, args=(4, placement),
+                               rounds=1, iterations=1)
+    benchmark.extra_info.update(procs=4, placement=placement,
+                                virtual_s=round(total, 2))

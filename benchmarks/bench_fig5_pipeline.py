@@ -1,0 +1,37 @@
+"""Figure 5 regeneration: overall performance of the pipelined POOMA ->
+HPC++ metaapplication vs the performance of its components (paper §4.3).
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.fig5_pipeline import PAPER_PROCS, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_full_sweep(benchmark):
+    rows = benchmark.pedantic(run_fig5, kwargs={"procs": PAPER_PROCS},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        "Figure 5: metaapplication vs component time (virtual s);\n"
+        "128x128 grid, 100 steps, gradient every 5th step, Ethernet"))
+    benchmark.extra_info["rows"] = [
+        (r.procs, round(r.t_overall, 2), round(r.t_diffusion, 2),
+         round(r.t_gradient, 2))
+        for r in rows
+    ]
+    # All series fall with processors; the overall time stays above the
+    # diffusion component; overall scaling flattens (the paper's
+    # "advantages did not scale very well").
+    for a, b in zip(rows, rows[1:]):
+        assert b.t_overall < a.t_overall
+        assert b.t_diffusion < a.t_diffusion
+    for r in rows:
+        assert r.t_overall > r.t_diffusion
+    first, last = rows[0], rows[-1]
+    overall_speedup = first.t_overall / last.t_overall
+    diffusion_speedup = first.t_diffusion / last.t_diffusion
+    assert overall_speedup < diffusion_speedup
+    assert overall_speedup < (last.procs / first.procs) * 0.85

@@ -1,0 +1,149 @@
+"""Infrastructure benchmarks (real wall-clock): the simulation kernel's
+event throughput, collective latency scaling, IDL compilation speed and
+end-to-end invocation cost.  These guard the reproduction's own
+performance — a slow simulator makes the paper-scale sweeps painful.
+"""
+
+import pytest
+
+from repro.idl import compile_idl, generate
+from repro.runtime import MPIRuntime, collectives as coll
+from repro.simkernel import Channel, SimKernel
+
+from repro.netsim import ATM_155, Host, Network
+from repro.runtime import World
+
+
+def make_world(nodes=16):
+    net = Network()
+    net.add_host(Host("hostA", nodes=nodes, node_flops=1e7))
+    net.add_host(Host("hostB", nodes=nodes, node_flops=1e7))
+    net.connect("hostA", "hostB", ATM_155)
+    return World(net)
+
+
+@pytest.mark.benchmark(group="infra-kernel")
+def test_kernel_context_switch_throughput(benchmark):
+    """Ping-pong between two threads: measures switches/second."""
+    SWITCHES = 2000
+
+    def run():
+        k = SimKernel()
+        ch_a, ch_b = Channel(k), Channel(k)
+
+        def a():
+            for i in range(SWITCHES // 2):
+                ch_b.push(i, arrival=k.now())
+                ch_a.receive()
+
+        def b():
+            for i in range(SWITCHES // 2):
+                ch_b.receive()
+                ch_a.push(i, arrival=k.now())
+
+        k.spawn(a)
+        k.spawn(b)
+        k.run()
+        return k.context_switches
+
+    switches = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["context_switches"] = switches
+
+
+@pytest.mark.benchmark(group="infra-kernel")
+@pytest.mark.parametrize("nthreads", [8, 64])
+def test_kernel_many_threads(benchmark, nthreads):
+    def run():
+        k = SimKernel()
+
+        def body():
+            for _ in range(20):
+                k.advance(0.001)
+
+        for _ in range(nthreads):
+            k.spawn(body)
+        k.run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="infra-collectives")
+@pytest.mark.parametrize("nprocs", [4, 16])
+def test_collective_allreduce_wallclock(benchmark, nprocs):
+    def run():
+        world = make_world(nodes=nprocs)
+        prog = world.launch(
+            lambda rts: [coll.allreduce(rts, rts.rank, lambda a, b: a + b)
+                         for _ in range(10)][-1],
+            host="hostA", nprocs=nprocs, rts_factory=MPIRuntime,
+        )
+        world.run()
+        return prog.results[0]
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result == sum(range(nprocs))
+
+
+SOLVER_IDL = """
+    typedef sequence<double> row;
+    typedef dsequence<row> matrix;
+    typedef dsequence<double> vector;
+    interface direct { void solve(in matrix A, in vector B, out vector X); };
+    interface iterative {
+        void solve(in double tol, in matrix A, in vector B, out vector X);
+    };
+"""
+
+
+@pytest.mark.benchmark(group="infra-idlc")
+def test_idl_generate_speed(benchmark):
+    src = benchmark(generate, SOLVER_IDL)
+    assert "class direct" in src
+
+
+@pytest.mark.benchmark(group="infra-idlc")
+def test_idl_compile_to_module_speed(benchmark):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return compile_idl(SOLVER_IDL,
+                           module_name=f"bench_idlc_{counter[0]}")
+
+    mod = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert hasattr(mod, "direct")
+
+
+@pytest.mark.benchmark(group="infra-invocation")
+def test_end_to_end_invocation_wallclock(benchmark):
+    """Wall-clock cost of simulating 50 remote invocations."""
+    from repro.core import OrbConfig, Simulation
+
+    mod = compile_idl("interface p { long echo(in long x); };",
+                      module_name="bench_invoke_stubs")
+
+    def run():
+        sim = Simulation(config=OrbConfig(max_outstanding=4))
+
+        def server_main(ctx):
+            class Impl(mod.p_skel):
+                def echo(self, x):
+                    return x
+
+            ctx.poa.activate(Impl(), "p", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+        out = {}
+
+        def client(ctx):
+            prx = mod.p._bind("p")
+            for i in range(50):
+                prx.echo(i)
+            out["done"] = True
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        return out["done"]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1)

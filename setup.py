@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP-517
+editable installs (which shell out to ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

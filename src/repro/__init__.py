@@ -1,0 +1,43 @@
+"""PARDIS: CORBA-based Architecture for Application-Level Parallel
+Distributed Computation — a comprehensive Python reproduction of
+Keahey & Gannon, SC'97.
+
+Public API tour:
+
+* :mod:`repro.core` — the ORB: :class:`~repro.core.Simulation`,
+  SPMD/single objects, distributed sequences, futures, repositories.
+* :mod:`repro.idl` — the IDL compiler: :func:`~repro.idl.compile_idl`.
+* :mod:`repro.runtime` — run-time-system backends and collectives.
+* :mod:`repro.netsim` — simulated hosts, links and transport.
+* :mod:`repro.packages` — mini-POOMA and mini-HPC++ PSTL.
+* :mod:`repro.apps` / :mod:`repro.experiments` — the paper's evaluation
+  workloads and the figure-regeneration harnesses.
+* :mod:`repro.tools` — packet tracing and summaries.
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from .core import (
+    Distribution,
+    DistributedSequence,
+    Future,
+    OrbConfig,
+    Simulation,
+    default_network,
+    dynamic_bind,
+)
+from .idl import compile_idl
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Distribution",
+    "DistributedSequence",
+    "Future",
+    "OrbConfig",
+    "Simulation",
+    "__version__",
+    "compile_idl",
+    "default_network",
+    "dynamic_bind",
+]

@@ -1,0 +1,3 @@
+"""The paper's evaluation applications: linear solvers (§4.1), the DNA
+database with single list servers (§4.2), and the diffusion -> gradient ->
+visualizer pipeline (§4.3)."""

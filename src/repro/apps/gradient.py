@@ -1,0 +1,113 @@
+"""The gradient component of the §4.3 pipeline (HPC++ PSTL program).
+
+"An application which computes magnitude gradient of the diffusion field
+in order to identify areas of the most intensive changes."
+
+Implemented over the mini-PSTL distributed vector: each thread holds a
+block of grid rows (flattened row-major), exchanges one boundary row with
+each neighbour, and computes |grad| with central differences.  The server
+forwards every completed result to its own visualizer ("both the
+diffusion and the gradient unit pipeline the results of every completed
+time-step to a visualizing server").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..packages.pooma.stencil import GRADIENT_FLOPS_PER_POINT
+from ..packages.pstl import DVector
+from ..runtime.collectives import _next_tag
+from .interfaces import pipeline_stubs
+
+
+def parallel_magnitude_gradient(vec: DVector, nx: int, rts) -> DVector:
+    """|grad f| of a row-major flattened 2-D field held as a DVector.
+
+    The vector's block distribution must sit on row boundaries (it does,
+    coming from the POOMA field mapping of a block-row layout).
+    """
+    lo, hi = vec.local_range()
+    if lo % nx or hi % nx:
+        raise ValueError("gradient needs a row-aligned distribution")
+    rows = (hi - lo) // nx
+    ny = len(vec) // nx
+    local = vec.local.reshape(rows, nx)
+
+    # Exchange boundary rows with neighbours.
+    up = vec.rank - 1
+    while up >= 0 and vec.dist.local_size(up) == 0:
+        up -= 1
+    down = vec.rank + 1
+    while down < vec.dist.p and vec.dist.local_size(down) == 0:
+        down += 1
+    have_up = up >= 0 and lo > 0
+    have_down = down < vec.dist.p and hi < len(vec)
+    tag = _next_tag(rts)
+    if rows and have_up:
+        rts.send_reserved(up, ("up", local[0].copy()), tag, nbytes=nx * 8)
+    if rows and have_down:
+        rts.send_reserved(down, ("down", local[-1].copy()), tag, nbytes=nx * 8)
+    padded = np.vstack([
+        local[0:1] if rows else np.zeros((1, nx)),
+        local,
+        local[-1:] if rows else np.zeros((1, nx)),
+    ])
+    expected = int(rows and have_up) + int(rows and have_down)
+    for _ in range(expected):
+        msg = rts.recv(tag=tag)
+        direction, row = msg.payload
+        if direction == "down":   # my upper neighbour's last row
+            padded[0] = row
+        else:                     # my lower neighbour's first row
+            padded[-1] = row
+
+    gy = 0.5 * (padded[2:, :] - padded[:-2, :])
+    if lo == 0 and rows:
+        gy[0] = padded[2] - padded[1]
+    if hi == len(vec) and rows:
+        gy[-1] = padded[-2] - padded[-3]
+    gx = np.zeros_like(local)
+    if nx > 1:
+        gx[:, 1:-1] = 0.5 * (local[:, 2:] - local[:, :-2])
+        gx[:, 0] = local[:, 1] - local[:, 0]
+        gx[:, -1] = local[:, -1] - local[:, -2]
+    out = np.hypot(gy, gx)
+    rts.charge_flops(rows * nx * GRADIENT_FLOPS_PER_POINT)
+    del ny
+    return DVector(len(vec), vec.rank, vec.dist.p, rts,
+                   local=out.reshape(-1), dist=vec.dist)
+
+
+def gradient_server_main(ctx, nx: int = 128,
+                         visualizer_name: str | None = None,
+                         stats: dict | None = None):
+    """Server main for the gradient component (HPC++ stubs).
+
+    When ``visualizer_name`` is given, each completed gradient is pipelined
+    to that visualizer with a non-blocking show.
+    """
+    mod = pipeline_stubs("HPC++")
+    viz = mod.visualizer._spmd_bind(visualizer_name) if visualizer_name else None
+
+    class GradientImpl(mod.field_operations_skel):
+        def __init__(self):
+            self.computed = 0
+
+        def gradient(self, myfield):
+            result = parallel_magnitude_gradient(myfield, nx, ctx.rts)
+            self.computed += 1
+            if stats is not None:
+                stats[ctx.rank] = self.computed
+            if viz is not None:
+                viz.show_nb(result)
+            return None
+
+    from ..core.distribution import RowBlock
+
+    # Register with a row-aligned "in" distribution so every thread's
+    # fragment is a whole run of grid rows (the §3.2 server-side
+    # distribution override in action).
+    ctx.poa.activate(GradientImpl(), "field_operations", kind="spmd",
+                     in_dists={("gradient", "myfield"): RowBlock(nx)})
+    ctx.poa.impl_is_ready()

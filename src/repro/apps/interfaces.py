@@ -1,0 +1,72 @@
+"""The paper's IDL, verbatim in spirit, compiled once per package option.
+
+Three IDL texts correspond to the three evaluation sections:
+
+* §4.1 — two linear-solver interfaces with a matrix of dynamically-sized
+  rows (``dsequence<sequence<double>>``);
+* §4.2 — the DNA database and its single list servers;
+* §4.3 — field operations and the visualizer, with pragma mappings for
+  POOMA and HPC++ PSTL.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..idl import compile_idl
+
+SOLVER_IDL = """
+    typedef sequence<double> row;
+    typedef dsequence<row> matrix;
+    typedef dsequence<double> vector;
+    interface direct {
+        void solve(in matrix A, in vector B, out vector X);
+    };
+    interface iterative {
+        void solve(in double tol, in matrix A, in vector B, out vector X);
+    };
+"""
+
+DNA_IDL = """
+    enum status { SEARCH_DONE, SEARCH_PARTIAL };
+    typedef sequence<string> dna_list;
+    interface list_server {
+        void match(in string s, out dna_list l);
+    };
+    interface dna_db {
+        status search(in string s);
+    };
+"""
+
+PIPELINE_IDL = """
+    const long N = 128;
+    #pragma HPC++:vector
+    #pragma POOMA:field
+    typedef dsequence<double, N*N, BLOCK, BLOCK> field;
+    interface visualizer {
+        void show(in field myfield);
+    };
+    interface field_operations {
+        void gradient(in field myfield);
+    };
+"""
+
+#: grid side of the §4.3 experiment
+PIPELINE_N = 128
+
+
+@lru_cache(maxsize=None)
+def solver_stubs():
+    return compile_idl(SOLVER_IDL, module_name="pardis_app_solvers")
+
+
+@lru_cache(maxsize=None)
+def dna_stubs():
+    return compile_idl(DNA_IDL, module_name="pardis_app_dna")
+
+
+@lru_cache(maxsize=None)
+def pipeline_stubs(package: str | None = None):
+    suffix = {"POOMA": "pooma", "HPC++": "hpcxx", None: "plain"}[package]
+    return compile_idl(PIPELINE_IDL, package=package,
+                       module_name=f"pardis_app_pipeline_{suffix}")

@@ -1,0 +1,39 @@
+"""The visualizer component of the §4.3 pipeline: "a simple program for
+viewing the result" — a sequential server that accepts whole fields and
+renders them (here: accumulates frame statistics, charging a per-frame
+render cost)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .interfaces import pipeline_stubs
+
+#: calibration: virtual seconds to render one frame.
+RENDER_COST = 4e-3
+
+
+def visualizer_server_main(ctx, object_name: str = "visualizer",
+                           frames: list | None = None):
+    """Single-threaded visualizer server (standard C++ stubs: "a no
+    options invocation will generate standard C++ stubs used with the
+    visualizer")."""
+    mod = pipeline_stubs(None)
+
+    class VisualizerImpl(mod.visualizer_skel):
+        def __init__(self):
+            self.frames_shown = 0
+            self.last_stats = None
+
+        def show(self, myfield):
+            data = np.asarray(myfield.owned_data, dtype=float)
+            ctx.compute(RENDER_COST)
+            self.frames_shown += 1
+            self.last_stats = (float(data.min()) if data.size else 0.0,
+                               float(data.max()) if data.size else 0.0)
+            if frames is not None:
+                frames.append(self.frames_shown)
+            return None
+
+    ctx.poa.activate(VisualizerImpl(), object_name, kind="spmd")
+    ctx.poa.impl_is_ready()

@@ -1,0 +1,67 @@
+"""CDR-style marshaling: typecodes, encoder, decoder.
+
+The IDL compiler generates code that drives this layer; the same
+marshaling routines serve both network transport and transport within a
+parallel program's communication domain (paper §4.1).
+"""
+
+from .decoder import CdrDecoder, decode
+from .encoder import CdrEncoder, MarshalError, encode
+from .typecodes import (
+    ArrayTC,
+    DSequenceTC,
+    EnumTC,
+    PRIMITIVES,
+    PrimitiveTC,
+    SequenceTC,
+    StringTC,
+    StructTC,
+    TC_BOOLEAN,
+    TC_CHAR,
+    TC_DOUBLE,
+    TC_FLOAT,
+    TC_LONG,
+    TC_LONGLONG,
+    TC_OCTET,
+    TC_SHORT,
+    TC_ULONG,
+    TC_ULONGLONG,
+    TC_USHORT,
+    TypeCode,
+    is_numeric_primitive,
+    wire_size,
+)
+
+from .typecodes import ObjectRefTC, UnionTC
+
+__all__ = [
+    "ArrayTC",
+    "CdrDecoder",
+    "CdrEncoder",
+    "DSequenceTC",
+    "EnumTC",
+    "MarshalError",
+    "ObjectRefTC",
+    "PRIMITIVES",
+    "PrimitiveTC",
+    "SequenceTC",
+    "StringTC",
+    "StructTC",
+    "TC_BOOLEAN",
+    "TC_CHAR",
+    "TC_DOUBLE",
+    "TC_FLOAT",
+    "TC_LONG",
+    "TC_LONGLONG",
+    "TC_OCTET",
+    "TC_SHORT",
+    "TC_ULONG",
+    "TC_ULONGLONG",
+    "TC_USHORT",
+    "TypeCode",
+    "UnionTC",
+    "decode",
+    "encode",
+    "is_numeric_primitive",
+    "wire_size",
+]

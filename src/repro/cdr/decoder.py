@@ -1,0 +1,183 @@
+"""CDR-style decoder; exact mirror of :mod:`repro.cdr.encoder`."""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from .encoder import MarshalError
+from .typecodes import (
+    ArrayTC,
+    ObjectRefTC,
+    TC_BOOLEAN as PRIM_BOOL,
+    DSequenceTC,
+    EnumTC,
+    INT_RANGES,
+    PrimitiveTC,
+    SequenceTC,
+    StringTC,
+    StructTC,
+    TypeCode,
+    UnionTC,
+    is_numeric_primitive,
+)
+
+
+class CdrDecoder:
+    """Sequential CDR input stream."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = memoryview(data)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+    # -- low-level --------------------------------------------------------------
+
+    def align(self, n: int) -> None:
+        self._pos += (-self._pos) % n
+
+    def _take(self, n: int) -> memoryview:
+        if self._pos + n > len(self._data):
+            raise MarshalError(
+                f"buffer underrun: need {n} bytes at offset {self._pos}, "
+                f"only {self.remaining} remain"
+            )
+        chunk = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return chunk
+
+    def get_primitive(self, tc: PrimitiveTC) -> Any:
+        self.align(tc.size)
+        raw = self._take(tc.size)
+        if tc.name == "char":
+            return chr(raw[0])
+        if tc.name == "boolean":
+            return bool(raw[0])
+        if tc.name in INT_RANGES:
+            return int(np.frombuffer(raw, dtype=tc.dtype)[0])
+        return float(struct.unpack("<f" if tc.size == 4 else "<d", raw)[0])
+
+    def get_ulong(self) -> int:
+        self.align(4)
+        return int(struct.unpack("<I", self._take(4))[0])
+
+    def get_string(self) -> str:
+        n = self.get_ulong()
+        if n < 1:
+            raise MarshalError("string length prefix must be >= 1")
+        raw = self._take(n)
+        if raw[-1] != 0:
+            raise MarshalError("string is not NUL-terminated")
+        return bytes(raw[:-1]).decode("utf-8")
+
+    def get_bulk(self, element: PrimitiveTC) -> np.ndarray:
+        n = self.get_ulong()
+        self.align(element.size)
+        raw = self._take(n * element.size)
+        return np.frombuffer(raw, dtype=element.dtype).copy()
+
+    # -- typecode-driven -----------------------------------------------------------
+
+    def decode(self, tc: TypeCode) -> Any:
+        if isinstance(tc, PrimitiveTC):
+            return self.get_primitive(tc)
+        if isinstance(tc, StringTC):
+            s = self.get_string()
+            if tc.bound is not None and len(s.encode("utf-8")) > tc.bound:
+                raise MarshalError(f"decoded string exceeds bound {tc.bound}")
+            return s
+        if isinstance(tc, EnumTC):
+            idx = self.get_ulong()
+            if idx >= len(tc.members):
+                raise MarshalError(f"enum {tc.name} has no member index {idx}")
+            return idx
+        if isinstance(tc, SequenceTC):
+            return self._decode_sequence(tc)
+        if isinstance(tc, DSequenceTC):
+            return self._decode_sequence(tc.fragment_tc())
+        if isinstance(tc, StructTC):
+            return {fname: self.decode(ftc) for fname, ftc in tc.fields}
+        if isinstance(tc, ArrayTC):
+            return self._decode_array(tc)
+        if isinstance(tc, ObjectRefTC):
+            return self._decode_objref(tc)
+        if isinstance(tc, UnionTC):
+            disc = self.decode(tc.discriminator)
+            arm = tc.arm_for(disc)
+            if arm is None:
+                raise MarshalError(
+                    f"union {tc.name}: no arm for discriminant {disc!r}"
+                )
+            return (disc, self.decode(arm[1]))
+        raise MarshalError(f"cannot decode typecode {tc!r}")
+
+    def _decode_objref(self, tc: ObjectRefTC):
+        from ..core.repository import ObjectRef
+        from ..netsim import Address
+
+        if not self.get_primitive(PRIM_BOOL):
+            return None
+        name = self.get_string()
+        repo_id = self.get_string()
+        kind = self.get_string()
+        program_id = self.get_ulong()
+        host = self.get_string()
+        nthreads = self.get_ulong()
+        owner_rank = self.get_ulong()
+        n_ep = self.get_ulong()
+        endpoints = tuple(
+            Address(self.get_string(), self.get_ulong(), self.get_ulong())
+            for _ in range(n_ep)
+        )
+        n_dists = self.get_ulong()
+        in_dists = {}
+        for _ in range(n_dists):
+            op = self.get_string()
+            param = self.get_string()
+            in_dists[(op, param)] = self.get_string()
+        return ObjectRef(name=name, repo_id=repo_id, kind=kind,
+                         program_id=program_id, host=host,
+                         nthreads=nthreads, owner_rank=owner_rank,
+                         endpoints=endpoints, in_dists=in_dists)
+
+    def _decode_array(self, tc: ArrayTC):
+        if is_numeric_primitive(tc.element):
+            self.align(tc.element.size)
+            raw = self._take(tc.total * tc.element.size)
+            return np.frombuffer(raw, dtype=tc.element.dtype).reshape(
+                tc.dims).copy()
+
+        def walk(dims):
+            if len(dims) == 1:
+                return [self.decode(tc.element) for _ in range(dims[0])]
+            return [walk(dims[1:]) for _ in range(dims[0])]
+
+        return walk(tc.dims)
+
+    def _decode_sequence(self, tc: SequenceTC) -> Any:
+        if is_numeric_primitive(tc.element):
+            arr = self.get_bulk(tc.element)
+            if tc.bound is not None and arr.size > tc.bound:
+                raise MarshalError(f"sequence of {arr.size} exceeds bound {tc.bound}")
+            return arr
+        n = self.get_ulong()
+        if tc.bound is not None and n > tc.bound:
+            raise MarshalError(f"sequence of {n} exceeds bound {tc.bound}")
+        return [self.decode(tc.element) for _ in range(n)]
+
+
+def decode(tc: TypeCode, data: bytes) -> Any:
+    """One-shot decode; requires the buffer to be fully consumed."""
+    dec = CdrDecoder(data)
+    value = dec.decode(tc)
+    if not dec.done():
+        raise MarshalError(f"{dec.remaining} trailing bytes after decode")
+    return value

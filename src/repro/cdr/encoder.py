@@ -1,0 +1,256 @@
+"""CDR-style encoder.
+
+Follows CORBA CDR's layout rules: every primitive is aligned to its
+natural boundary (relative to the start of the encapsulation), sequences
+and strings carry a ``ulong`` length prefix, strings are NUL-terminated,
+enums travel as ``ulong``.  Byte order is fixed little-endian (a real GIOP
+stream carries a byte-order flag; a single simulation never mixes orders).
+
+Bulk numeric sequences take a numpy fast path: one alignment pad, one
+length word, one contiguous buffer copy.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from .typecodes import (
+    ArrayTC,
+    ObjectRefTC,
+    DSequenceTC,
+    EnumTC,
+    INT_RANGES,
+    PrimitiveTC,
+    SequenceTC,
+    StringTC,
+    StructTC,
+    TypeCode,
+    UnionTC,
+    is_numeric_primitive,
+)
+
+
+from .typecodes import TC_BOOLEAN as PRIM_BOOL
+
+
+class MarshalError(ValueError):
+    """Value cannot be encoded under the given TypeCode."""
+
+
+class CdrEncoder:
+    """Append-only CDR output stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    # -- low-level --------------------------------------------------------------
+
+    def align(self, n: int) -> None:
+        pad = (-len(self._buf)) % n
+        if pad:
+            self._buf.extend(b"\0" * pad)
+
+    def put_primitive(self, tc: PrimitiveTC, value: Any) -> None:
+        self.align(tc.size)
+        if tc.name == "char":
+            if isinstance(value, str):
+                if len(value) != 1:
+                    raise MarshalError(f"char needs a 1-char string, got {value!r}")
+                value = ord(value)
+            self._buf.append(int(value) & 0xFF)
+            return
+        if tc.name == "boolean":
+            self._buf.append(1 if value else 0)
+            return
+        if tc.name in INT_RANGES:
+            iv = int(value)
+            lo, hi = INT_RANGES[tc.name]
+            if not (lo <= iv <= hi):
+                raise MarshalError(f"{iv} out of range for {tc.name}")
+            self._buf.extend(np.array([iv], dtype=tc.dtype).tobytes())
+            return
+        # float / double
+        self._buf.extend(struct.pack("<f" if tc.size == 4 else "<d", float(value)))
+
+    def put_ulong(self, value: int) -> None:
+        self.align(4)
+        if not (0 <= value <= 0xFFFFFFFF):
+            raise MarshalError(f"ulong out of range: {value}")
+        self._buf.extend(struct.pack("<I", value))
+
+    def put_string(self, value: str, bound: int | None = None) -> None:
+        data = value.encode("utf-8")
+        if bound is not None and len(data) > bound:
+            raise MarshalError(f"string of {len(data)} bytes exceeds bound {bound}")
+        self.put_ulong(len(data) + 1)
+        self._buf.extend(data)
+        self._buf.append(0)
+
+    def put_bulk(self, element: PrimitiveTC, values: Any) -> None:
+        """Numpy fast path: length prefix + contiguous element buffer."""
+        arr = np.ascontiguousarray(values, dtype=element.dtype)
+        if arr.ndim != 1:
+            raise MarshalError(f"bulk sequence must be 1-D, got shape {arr.shape}")
+        self.put_ulong(arr.size)
+        self.align(element.size)
+        self._buf.extend(arr.tobytes())
+
+    # -- typecode-driven -----------------------------------------------------------
+
+    def encode(self, tc: TypeCode, value: Any) -> "CdrEncoder":
+        if isinstance(tc, PrimitiveTC):
+            self.put_primitive(tc, value)
+        elif isinstance(tc, StringTC):
+            if not isinstance(value, str):
+                raise MarshalError(f"expected str, got {type(value).__name__}")
+            self.put_string(value, tc.bound)
+        elif isinstance(tc, EnumTC):
+            idx = tc.index_of(value)
+            if not (0 <= idx < len(tc.members)):
+                raise MarshalError(f"enum {tc.name} has no member index {idx}")
+            self.put_ulong(idx)
+        elif isinstance(tc, SequenceTC):
+            self._encode_sequence(tc, value)
+        elif isinstance(tc, DSequenceTC):
+            # A whole dsequence encoded locally is just its fragment form.
+            self._encode_sequence(tc.fragment_tc(), value)
+        elif isinstance(tc, StructTC):
+            for fname, ftc in tc.fields:
+                try:
+                    fval = value[fname] if isinstance(value, dict) else getattr(value, fname)
+                except (KeyError, AttributeError):
+                    raise MarshalError(
+                        f"struct {tc.name} value missing field {fname!r}"
+                    ) from None
+                self.encode(ftc, fval)
+        elif isinstance(tc, ArrayTC):
+            self._encode_array(tc, value)
+        elif isinstance(tc, UnionTC):
+            self._encode_union(tc, value)
+        elif isinstance(tc, ObjectRefTC):
+            self._encode_objref(tc, value)
+        else:
+            raise MarshalError(f"cannot encode typecode {tc!r}")
+        return self
+
+    def _encode_objref(self, tc: ObjectRefTC, value: Any) -> None:
+        # Accept proxies (static or dynamic) and raw ObjectRefs.
+        binding = getattr(value, "_binding", None)
+        if binding is not None:
+            value = binding.ref
+        if value is None:
+            self.put_primitive(PRIM_BOOL, False)   # nil reference
+            return
+        required = ("name", "repo_id", "kind", "program_id", "host",
+                    "nthreads", "owner_rank", "endpoints")
+        if not all(hasattr(value, f) for f in required):
+            raise MarshalError(
+                f"expected an object reference or proxy, got {value!r}"
+            )
+        self.put_primitive(PRIM_BOOL, True)
+        self.put_string(value.name)
+        self.put_string(value.repo_id)
+        self.put_string(value.kind)
+        self.put_ulong(value.program_id)
+        self.put_string(value.host)
+        self.put_ulong(value.nthreads)
+        self.put_ulong(value.owner_rank)
+        self.put_ulong(len(value.endpoints))
+        for addr in value.endpoints:
+            self.put_string(addr.host)
+            self.put_ulong(addr.node)
+            self.put_ulong(addr.port)
+        dists = value.in_dists or {}
+        self.put_ulong(len(dists))
+        for (op, param), spec in sorted(dists.items()):
+            if not isinstance(spec, str):
+                raise MarshalError(
+                    "object references with non-named in-distribution "
+                    f"overrides cannot travel by value ({op}/{param}: {spec!r})"
+                )
+            self.put_string(op)
+            self.put_string(param)
+            self.put_string(spec)
+
+    def _encode_array(self, tc: ArrayTC, value: Any) -> None:
+        if is_numeric_primitive(tc.element):
+            arr = np.ascontiguousarray(value, dtype=tc.element.dtype)
+            if arr.shape != tc.dims:
+                raise MarshalError(
+                    f"array value of shape {arr.shape} does not match "
+                    f"declared dims {tc.dims}"
+                )
+            self.align(tc.element.size)
+            self._buf.extend(arr.tobytes())
+            return
+        flat_tc = tc.element
+
+        def walk(dims, v):
+            if len(v) != dims[0]:
+                raise MarshalError(
+                    f"array dimension mismatch: expected {dims[0]} "
+                    f"elements, got {len(v)}"
+                )
+            for item in v:
+                if len(dims) == 1:
+                    self.encode(flat_tc, item)
+                else:
+                    walk(dims[1:], item)
+
+        walk(tc.dims, value)
+
+    def _encode_union(self, tc: UnionTC, value: Any) -> None:
+        try:
+            disc, arm_value = value
+        except (TypeError, ValueError):
+            raise MarshalError(
+                f"union {tc.name} value must be a (discriminant, value) "
+                f"pair, got {value!r}"
+            ) from None
+        arm = tc.arm_for(disc)
+        if arm is None:
+            raise MarshalError(
+                f"union {tc.name} has no arm for discriminant {disc!r}"
+            )
+        self.encode(tc.discriminator, disc)
+        self.encode(arm[1], arm_value)
+
+    def _encode_sequence(self, tc: SequenceTC, value: Any) -> None:
+        if isinstance(value, np.ndarray) or (
+            is_numeric_primitive(tc.element) and not isinstance(value, (str, bytes))
+        ):
+            try:
+                n = len(value)
+            except TypeError:
+                raise MarshalError(
+                    f"expected a sized sequence, got {type(value).__name__}"
+                ) from None
+            if tc.bound is not None and n > tc.bound:
+                raise MarshalError(f"sequence of {n} exceeds bound {tc.bound}")
+            self.put_bulk(tc.element, value)
+            return
+        try:
+            n = len(value)
+        except TypeError:
+            raise MarshalError(
+                f"expected a sized sequence, got {type(value).__name__}"
+            ) from None
+        if tc.bound is not None and n > tc.bound:
+            raise MarshalError(f"sequence of {n} exceeds bound {tc.bound}")
+        self.put_ulong(n)
+        for item in value:
+            self.encode(tc.element, item)
+
+
+def encode(tc: TypeCode, value: Any) -> bytes:
+    """One-shot encode."""
+    return CdrEncoder().encode(tc, value).getvalue()

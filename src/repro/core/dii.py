@@ -1,0 +1,110 @@
+"""Dynamic invocation: calling objects without compiled stubs.
+
+CORBA pairs the static (stub-based) invocation interface with a Dynamic
+Invocation Interface driven by the Interface Repository.  PARDIS inherits
+the idea: interface definitions registered at servant activation let a
+client build requests at run time —
+
+>>> proxy = dynamic_bind("calculator")        # no generated module needed
+>>> proxy.invoke("add", 2.0, 3.0)
+5.0
+
+Useful for bridges, scripting and debugging tools; the examples and tests
+use it to talk to servers whose stub modules they never imported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import BadOperation, BindingError
+from .futures import Future
+from .interfacedef import InterfaceDef
+from .invocation import Binding, invoke
+
+
+class InterfaceRepository:
+    """repo_id -> :class:`InterfaceDef`, filled at servant activation."""
+
+    def __init__(self) -> None:
+        self._interfaces: dict[str, InterfaceDef] = {}
+
+    def register(self, iface: InterfaceDef) -> None:
+        self._interfaces[iface.repo_id] = iface
+
+    def lookup(self, repo_id: str) -> InterfaceDef:
+        try:
+            return self._interfaces[repo_id]
+        except KeyError:
+            raise BadOperation(
+                f"interface {repo_id!r} is not in the interface repository"
+            ) from None
+
+    def contains(self, repo_id: str) -> bool:
+        return repo_id in self._interfaces
+
+    def repo_ids(self) -> list[str]:
+        return sorted(self._interfaces)
+
+
+class DynamicProxy:
+    """A stubless proxy: operations invoked by name, marshaling driven by
+    the interface definition from the Interface Repository."""
+
+    def __init__(self, binding: Binding, iface: InterfaceDef) -> None:
+        self._binding = binding
+        self._interface = iface
+
+    def _op(self, name: str):
+        op = self._interface.ops.get(name)
+        if op is None:
+            raise BadOperation(
+                f"{self._interface.name} has no operation {name!r} "
+                f"(available: {sorted(self._interface.ops)})"
+            )
+        return op
+
+    def invoke(self, op_name: str, *in_args, _distributions=None):
+        """Blocking dynamic invocation."""
+        return invoke(self._binding, self._op(op_name), in_args,
+                      _distributions, blocking=True)
+
+    def invoke_nb(self, op_name: str, *in_args, futures: tuple = (),
+                  _distributions=None) -> Future:
+        """Non-blocking dynamic invocation; returns a future."""
+        return invoke(self._binding, self._op(op_name), in_args,
+                      _distributions, placeholders=tuple(futures),
+                      blocking=False)
+
+    def operations(self) -> list[str]:
+        return sorted(self._interface.ops)
+
+    def __repr__(self) -> str:
+        return (f"<DynamicProxy {self._binding.ref.name!r} "
+                f"({self._interface.repo_id})>")
+
+
+def _interface_repository(orb) -> InterfaceRepository:
+    ir = orb.world.services.get("interface_repository")
+    if ir is None:
+        ir = orb.world.services["interface_repository"] = InterfaceRepository()
+    return ir
+
+
+def dynamic_bind(name: str, host: Optional[str] = None,
+                 collective: bool = False) -> DynamicProxy:
+    """Bind to an object by name without generated stubs.
+
+    The object's interface definition must be in the Interface Repository
+    (servant activation puts it there).
+    """
+    from .stubapi import current_context
+
+    ctx = current_context()
+    ref = ctx.orb.resolve(name, ctx)
+    if host is not None and ref.host != host:
+        raise BindingError(
+            f"object {name!r} lives on host {ref.host!r}, not {host!r}"
+        )
+    iface = _interface_repository(ctx.orb).lookup(ref.repo_id)
+    return DynamicProxy(Binding(ctx, ref, collective=collective), iface)

@@ -1,0 +1,77 @@
+"""PARDIS exception hierarchy (CORBA-flavoured)."""
+
+from __future__ import annotations
+
+
+class PardisError(Exception):
+    """Base class for all PARDIS-level errors."""
+
+
+class SystemException(PardisError):
+    """CORBA-style system exception (infrastructure failure)."""
+
+
+class ObjectNotFound(SystemException):
+    """No object with the requested name is registered or activatable."""
+
+
+class BadOperation(SystemException):
+    """Request for an operation the interface does not define."""
+
+
+class BindingError(SystemException):
+    """A binding could not be established or was misused."""
+
+
+class CollectiveMismatch(SystemException):
+    """SPMD threads disagreed on a collective invocation (different
+    operations, different request sequence, or a missing participant)."""
+
+
+class NonLocalAccess(PardisError):
+    """Location-transparent element access touched a non-local element and
+    no one-sided runtime is available to fetch it (paper §3.2: distributed
+    sequences are containers first; remote ``operator[]`` needs an RTS with
+    one-sided support such as Tulip)."""
+
+
+class FutureError(PardisError):
+    """Misuse of a future (e.g. rebinding an already-bound future)."""
+
+
+class ActivationError(SystemException):
+    """A server could not be activated (no record, or agent disabled)."""
+
+
+class UserException(PardisError):
+    """Base class of IDL-declared exceptions.
+
+    Generated exception classes define ``_repo_id``, ``_typecode`` and
+    ``_fields``; instances carry one attribute per IDL member.
+    """
+
+    _repo_id: str = "IDL:UserException:1.0"
+    _typecode = None
+    _fields: tuple = ()
+
+    def __init__(self, *args, **fields):
+        if args:
+            if len(args) > len(self._fields):
+                raise TypeError(
+                    f"{type(self).__name__} takes at most "
+                    f"{len(self._fields)} positional arguments"
+                )
+            fields.update(zip(self._fields, args))
+        unknown = set(fields) - set(self._fields)
+        if unknown:
+            raise TypeError(
+                f"{type(self).__name__} has no members {sorted(unknown)}"
+            )
+        for name in self._fields:
+            setattr(self, name, fields.get(name))
+        super().__init__(
+            ", ".join(f"{n}={getattr(self, n)!r}" for n in self._fields)
+        )
+
+    def _values(self) -> dict:
+        return {n: getattr(self, n) for n in self._fields}

@@ -1,0 +1,93 @@
+"""Runtime interface metadata emitted by the IDL compiler.
+
+Generated stub modules build these structures once per interface; both the
+client engine (:mod:`repro.core.invocation`) and the server dispatcher
+(:mod:`repro.core.poa`) drive marshaling and scheduling from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..cdr import DSequenceTC, TypeCode
+
+
+@dataclass(frozen=True)
+class ParamDef:
+    direction: str                  # "in" | "out" | "inout"
+    name: str
+    tc: TypeCode
+    #: container adapter for package-native dsequence mappings (§3.4)
+    adapter: Any = None
+
+    @property
+    def is_distributed(self) -> bool:
+        return isinstance(self.tc, DSequenceTC)
+
+
+@dataclass(frozen=True)
+class AttrDef:
+    name: str
+    tc: TypeCode
+    readonly: bool = False
+
+
+@dataclass(frozen=True)
+class OpDef:
+    name: str
+    ret_tc: Optional[TypeCode]
+    params: list
+    oneway: bool = False
+    raises: list = field(default_factory=list)   # exception repo ids
+
+    @property
+    def in_params(self) -> list:
+        return [p for p in self.params if p.direction in ("in", "inout")]
+
+    @property
+    def out_params(self) -> list:
+        return [p for p in self.params if p.direction in ("out", "inout")]
+
+    @property
+    def scalar_in_params(self) -> list:
+        return [p for p in self.in_params if not p.is_distributed]
+
+    @property
+    def dseq_in_params(self) -> list:
+        return [p for p in self.in_params if p.is_distributed]
+
+    @property
+    def scalar_out_params(self) -> list:
+        return [p for p in self.out_params if not p.is_distributed]
+
+    @property
+    def dseq_out_params(self) -> list:
+        return [p for p in self.out_params if p.is_distributed]
+
+    @property
+    def has_distributed_args(self) -> bool:
+        return bool(self.dseq_in_params or self.dseq_out_params) or isinstance(
+            self.ret_tc, DSequenceTC
+        )
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    name: str
+    repo_id: str
+    ops: dict
+    attrs: list = field(default_factory=list)
+
+    def op(self, name: str) -> OpDef:
+        return self.ops[name]
+
+    def attr(self, name: str) -> Optional[AttrDef]:
+        for a in self.attrs:
+            if a.name == name:
+                return a
+        return None
+
+    @property
+    def has_distributed_ops(self) -> bool:
+        return any(op.has_distributed_args for op in self.ops.values())

@@ -1,0 +1,376 @@
+"""Portable Object Adapter: servant registration and request dispatch.
+
+Server programs create servants and activate them through the POA:
+
+* SPMD objects are activated **collectively** — every computing thread
+  contributes its local servant instance; requests are delivered to all
+  threads (rank 0 forwards the header through the server's communication
+  domain) and distributed arguments arrive as direct thread-to-thread
+  fragments (paper §2.1/§3.1);
+* single objects are activated by their one owning thread and serviced by
+  it alone; distributing several single objects over the threads of a
+  parallel server enables parallel interaction (the §4.2 scenario).
+
+``impl_is_ready()`` enters the request loop and never returns;
+``process_requests()`` drains currently-queued requests and returns so a
+server can interleave servicing with its own computation (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..cdr import DSequenceTC, encode as cdr_encode
+from ..runtime.program import PORT_ORB
+from ..runtime.tags import (
+    TAG_ARG_FRAGMENT,
+    TAG_REPLY_HEADER,
+    TAG_REQUEST_HEADER,
+    TAG_RESULT_FRAGMENT,
+)
+from .distribution import Distribution
+from .dsequence import DistributedSequence
+from .errors import BadOperation, BindingError, ObjectNotFound, UserException
+from .interfacedef import InterfaceDef, OpDef, ParamDef
+from .marshal import (
+    as_distributed,
+    decode_scalars,
+    encode_scalars,
+    fragment_payload,
+    fragment_values,
+    resolve_out_dist,
+    scalar_in_specs,
+    scalar_result_specs,
+    wrap_out,
+)
+from .repository import ObjectRef
+from .request import (
+    Fragment,
+    ReplyHeader,
+    RequestHeader,
+    STATUS_OK,
+    STATUS_SYS_EXC,
+    STATUS_USER_EXC,
+    build as build_dist,
+    describe as describe_dist,
+)
+from . import transfer as _transfer
+
+
+@dataclass
+class ServantRecord:
+    name: str
+    iface: InterfaceDef
+    kind: str                        # "spmd" | "single"
+    owner_rank: int
+    servants: dict[int, Any] = field(default_factory=dict)
+    in_dists: dict = field(default_factory=dict)
+
+
+class POA:
+    """Per-thread handle on the program's object adapter."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        svc = ctx.orb.program_services(ctx.program)
+        self._registry: dict[str, ServantRecord] = svc.setdefault("servants", {})
+
+    # -- activation ------------------------------------------------------------
+
+    def activate(self, servant, name: str, kind: str = "spmd",
+                 in_dists: Optional[dict] = None) -> ObjectRef:
+        """Register a servant under ``name``.
+
+        SPMD activation is collective over all computing threads of the
+        server ("the instantiation of an SPMD object is collective",
+        §3.1).  ``in_dists`` maps ``(op, param)`` to a distribution kind,
+        overriding the IDL default for "in" arguments prior to
+        registration (§3.2).
+        """
+        iface: InterfaceDef = servant._interface
+        ctx = self.ctx
+        # Publish the interface definition for dynamic (stubless) clients.
+        from .dii import _interface_repository
+
+        _interface_repository(ctx.orb).register(iface)
+        if kind == "single":
+            if iface.has_distributed_ops:
+                raise BindingError(
+                    f"{name!r}: only objects which do not operate on "
+                    "distributed arguments can be created as single objects"
+                )
+            record = ServantRecord(name, iface, "single", ctx.rank,
+                                   {ctx.rank: servant}, dict(in_dists or {}))
+            self._registry[name] = record
+            ref = self._make_ref(record)
+            ctx.orb.repository(ctx.namespace).register(ref)
+            return ref
+        if kind != "spmd":
+            raise ValueError(f"unknown object kind {kind!r}")
+        record = self._registry.setdefault(
+            name, ServantRecord(name, iface, "spmd", 0, {},
+                                dict(in_dists or {}))
+        )
+        record.servants[ctx.rank] = servant
+        ctx.barrier()
+        if ctx.rank == 0:
+            ref = self._make_ref(record)
+            ctx.orb.repository(ctx.namespace).register(ref)
+        ctx.barrier()
+        return ctx.orb.repository(ctx.namespace).lookup(name)
+
+    def deactivate(self, name: str) -> None:
+        self._registry.pop(name, None)
+        self.ctx.orb.repository(self.ctx.namespace).unregister(name)
+
+    def _make_ref(self, record: ServantRecord) -> ObjectRef:
+        prog = self.ctx.program
+        return ObjectRef(
+            name=record.name,
+            repo_id=record.iface.repo_id,
+            kind=record.kind,
+            program_id=prog.program_id,
+            host=prog.host,
+            nthreads=prog.nprocs,
+            owner_rank=record.owner_rank,
+            endpoints=tuple(
+                prog.address(r, PORT_ORB) for r in range(prog.nprocs)
+            ),
+            in_dists=dict(record.in_dists),
+        )
+
+    def _lookup_record(self, name: str) -> ServantRecord:
+        try:
+            return self._registry[name]
+        except KeyError:
+            raise ObjectNotFound(
+                f"program {self.ctx.program.name!r} has no servant {name!r}"
+            ) from None
+
+    # -- request loops ----------------------------------------------------------
+
+    def impl_is_ready(self) -> None:
+        """Enter the request-polling loop; does not return (the server
+        remains in the loop until it is deactivated/killed).  Collective
+        with respect to all processing threads of the server."""
+        while True:
+            self._process_one(block=True)
+
+    def process_requests(self) -> int:
+        """Service the requests that have arrived so far, then return so
+        the server can resume its interrupted computation (§3.3).
+        Collective over the server's threads."""
+        n = 0
+        while self._process_one(block=False):
+            n += 1
+        return n
+
+    def _process_one(self, block: bool) -> bool:
+        ep = self.ctx.endpoint
+
+        def match(env):
+            return env.payload.tag == TAG_REQUEST_HEADER
+
+        env = (ep.channel.receive(match, reason="impl_is_ready")
+               if block else ep.channel.poll(match))
+        if env is None:
+            return False
+        self._handle(env.payload.body)
+        return True
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _handle(self, hdr: RequestHeader) -> None:
+        ctx = self.ctx
+        record = self._lookup_record(hdr.object_name)
+        is_root = True  # set properly below once the kind is known
+        if record.kind == "spmd":
+            if ctx.rank == 0 and not hdr.forwarded and ctx.nprocs > 1:
+                fwd = replace(hdr, forwarded=True)
+                for r in range(1, ctx.nprocs):
+                    ctx.orb.world.transport.send(
+                        ep_addr(ctx), ctx.program.address(r, PORT_ORB), fwd,
+                        tag=TAG_REQUEST_HEADER, nbytes=hdr.nbytes(),
+                    )
+            servant = record.servants[ctx.rank]
+            is_root = ctx.rank == 0
+        else:
+            servant = record.servants[record.owner_rank]
+
+        op = self._resolve_op(record.iface, hdr, servant)
+        if op is None:
+            if is_root:
+                self._send_reply(hdr, ReplyHeader(
+                    hdr.req_id, STATUS_SYS_EXC,
+                    exception=f"no operation {hdr.op!r} on {record.name!r}",
+                ))
+            return
+
+        try:
+            args = self._collect_in_args(record, hdr, op)
+        except Exception as exc:  # bad request: report, keep serving
+            if is_root:
+                self._send_reply(hdr, ReplyHeader(
+                    hdr.req_id, STATUS_SYS_EXC, exception=repr(exc)))
+            return
+
+        try:
+            result = getattr(servant, op.name)(*args)
+        except UserException as exc:
+            if not hdr.oneway and is_root:
+                self._send_reply(hdr, ReplyHeader(
+                    hdr.req_id, STATUS_USER_EXC,
+                    exception=(exc._repo_id,
+                               cdr_encode(exc._typecode, exc._values())),
+                ))
+            return
+        except Exception as exc:
+            if not hdr.oneway and is_root:
+                self._send_reply(hdr, ReplyHeader(
+                    hdr.req_id, STATUS_SYS_EXC, exception=repr(exc)))
+            return
+
+        if hdr.oneway:
+            return
+        self._send_results(record, hdr, op, result)
+
+    def _resolve_op(self, iface: InterfaceDef, hdr: RequestHeader,
+                    servant) -> Optional[OpDef]:
+        op = iface.ops.get(hdr.op)
+        if op is not None:
+            return op
+        # Attribute accessors are synthesized operations.
+        if hdr.op.startswith("_get_"):
+            attr = iface.attr(hdr.op[5:])
+            if attr is not None:
+                return OpDef(hdr.op, attr.tc, [])
+        if hdr.op.startswith("_set_"):
+            attr = iface.attr(hdr.op[5:])
+            if attr is not None and not attr.readonly:
+                return OpDef(hdr.op, None,
+                             [ParamDef("in", "value", attr.tc)])
+        return None
+
+    # -- argument collection -----------------------------------------------------------
+
+    def _collect_in_args(self, record: ServantRecord, hdr: RequestHeader,
+                         op: OpDef) -> list:
+        ctx = self.ctx
+        specs = scalar_in_specs(op)
+        scalars = decode_scalars(specs, hdr.scalar_args)
+        from .marshal import materialize_objrefs
+
+        materialize_objrefs(specs, scalars, ctx)
+        values: dict[str, Any] = dict(scalars)
+        for param in op.dseq_in_params:
+            client_dist = build_dist(hdr.dseq_args[param.name])
+            n = client_dist.n
+            spec = record.in_dists.get((op.name, param.name),
+                                       param.tc.server_dist)
+            from .distribution import resolve_dist_spec
+
+            server_dist = resolve_dist_spec(spec, n, ctx.nprocs)
+            sched = _transfer.schedule(client_dist, server_dist)
+            expected = sum(1 for t in sched if t.dst_rank == ctx.rank)
+            storage = DistributedSequence(param.tc.element, server_dist,
+                                          ctx.rank)
+            ep = ctx.endpoint
+
+            def match(env, pname=param.name):
+                pkt = env.payload
+                return (pkt.tag == TAG_ARG_FRAGMENT
+                        and pkt.body.req_id == hdr.req_id
+                        and pkt.body.param == pname)
+
+            for _ in range(expected):
+                frag: Fragment = ep.channel.receive(
+                    match, reason=f"arg {param.name}").payload.body
+                vals = fragment_values(param.tc.element, frag.payload)
+                _transfer.insert(server_dist, ctx.rank, storage.owned_data,
+                                 tuple(frag.intervals), vals)
+            values[param.name] = wrap_out(param, storage)
+        return [values[p.name] for p in op.in_params]
+
+    # -- results ----------------------------------------------------------------------
+
+    def _send_results(self, record: ServantRecord, hdr: RequestHeader,
+                      op: OpDef, result) -> None:
+        ctx = self.ctx
+        expected = ([] if op.ret_tc is None else ["__return"]) + [
+            p.name for p in op.out_params
+        ]
+        if not expected:
+            out_values: dict[str, Any] = {}
+        else:
+            # Only unpack tuples when more than one slot is expected: a
+            # single return value may itself be a tuple (e.g. a union).
+            if len(expected) == 1:
+                seq = (result,)
+            else:
+                seq = result if isinstance(result, tuple) else (result,)
+            if len(seq) != len(expected):
+                if (record.kind == "single") or ctx.rank == 0:
+                    self._send_reply(hdr, ReplyHeader(
+                        hdr.req_id, STATUS_SYS_EXC,
+                        exception=(f"servant {op.name} returned {len(seq)} "
+                                   f"values, expected {len(expected)}"),
+                    ))
+                return
+            out_values = dict(zip(expected, seq))
+
+        dseq_outs: dict[str, tuple] = {}
+        frag_plan = []
+        for param in op.dseq_out_params:
+            container = out_values[param.name]
+            ds = as_distributed(param, container, ctx.nprocs, ctx.rank)
+            client_dist = resolve_out_dist(
+                hdr.out_dists.get(param.name), param.tc.client_dist,
+                ds.dist.n, hdr.client_nthreads,
+            )
+            dseq_outs[param.name] = describe_dist(ds.dist)
+            frag_plan.append((param, ds, client_dist))
+
+        is_root = (record.kind == "single") or ctx.rank == 0
+        if is_root:
+            scalar_bytes = encode_scalars(
+                scalar_result_specs(op),
+                {k: v for k, v in out_values.items()
+                 if k == "__return" or not _is_dseq_param(op, k)},
+            )
+            self._send_reply(hdr, ReplyHeader(
+                hdr.req_id, STATUS_OK, scalar_results=scalar_bytes,
+                dseq_outs=dseq_outs,
+            ))
+
+        transport = ctx.orb.world.transport
+        offload = ctx.orb.config.communication_threads
+        for param, ds, client_dist in frag_plan:
+            sched = _transfer.schedule(ds.dist, client_dist)
+            for item in sched:
+                if item.src_rank != ctx.rank:
+                    continue
+                vals = _transfer.extract(ds.dist, ctx.rank, ds.owned_data,
+                                         item.intervals)
+                payload = fragment_payload(param.tc.element, vals)
+                frag = Fragment(hdr.req_id, param.name, ctx.rank,
+                                item.intervals, payload)
+                transport.send(
+                    ep_addr(ctx), hdr.reply_to[item.dst_rank], frag,
+                    tag=TAG_RESULT_FRAGMENT, nbytes=frag.nbytes(),
+                    oneway=offload,
+                )
+
+    def _send_reply(self, hdr: RequestHeader, reply: ReplyHeader) -> None:
+        transport = self.ctx.orb.world.transport
+        for addr in hdr.reply_to:
+            transport.send(ep_addr(self.ctx), addr, reply,
+                           tag=TAG_REPLY_HEADER, nbytes=reply.nbytes())
+
+
+def _is_dseq_param(op: OpDef, name: str) -> bool:
+    return any(p.name == name for p in op.dseq_out_params)
+
+
+def ep_addr(ctx):
+    return ctx.endpoint.address

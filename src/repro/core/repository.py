@@ -1,0 +1,106 @@
+"""Object and Implementation Repositories (paper §2.2).
+
+"Databases which define a naming domain for interacting objects.  On
+activation, every object registers with an object repository, which is
+searched when the client requests a connection to a specific object.  Each
+repository is associated with a unique namespace; configuring clients and
+servers to work with different repositories allows the programmer to split
+the namespace for interacting objects."
+
+The Implementation Repository stores, for non-persistent servers, how an
+object's server is to be activated (the paper's ``register`` facility);
+activation agents consume those records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..netsim import Address
+from .errors import ObjectNotFound
+
+
+@dataclass
+class ObjectRef:
+    """An interoperable object reference (the PARDIS IOR)."""
+
+    name: str
+    repo_id: str                    # interface repository id
+    kind: str                       # "spmd" | "single"
+    program_id: int
+    host: str
+    nthreads: int                   # server computing threads
+    owner_rank: int                 # servicing thread for single objects
+    endpoints: tuple[Address, ...]  # ORB endpoint of every server thread
+    #: server-side overrides: (op, param) -> distribution kind for "in"
+    #: arguments, set before registration (paper §3.2)
+    in_dists: dict = field(default_factory=dict)
+
+    @property
+    def root_endpoint(self) -> Address:
+        return self.endpoints[self.owner_rank if self.kind == "single" else 0]
+
+
+class ObjectRepository:
+    """Name -> :class:`ObjectRef` within one namespace."""
+
+    def __init__(self, namespace: str = "default") -> None:
+        self.namespace = namespace
+        self._objects: dict[str, ObjectRef] = {}
+
+    def register(self, ref: ObjectRef) -> None:
+        if ref.name in self._objects:
+            raise ValueError(
+                f"object {ref.name!r} already registered in namespace "
+                f"{self.namespace!r}"
+            )
+        self._objects[ref.name] = ref
+
+    def unregister(self, name: str) -> None:
+        self._objects.pop(name, None)
+
+    def lookup(self, name: str) -> ObjectRef:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise ObjectNotFound(
+                f"no object {name!r} in namespace {self.namespace!r}"
+            ) from None
+
+    def contains(self, name: str) -> bool:
+        return name in self._objects
+
+    def names(self) -> list[str]:
+        return sorted(self._objects)
+
+
+@dataclass
+class ActivationRecord:
+    """How to start the server that implements an object (paper: the
+    ``register`` facility of the Implementation Repository)."""
+
+    object_name: str
+    server_main: Callable           # main(ctx) run on every computing thread
+    host: str
+    nprocs: int
+    rts_factory: Optional[Callable] = None
+    node_offset: int = 0
+    program_name: Optional[str] = None
+    args: tuple = ()
+
+
+class ImplementationRepository:
+    """Object name -> :class:`ActivationRecord`."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, ActivationRecord] = {}
+
+    def register(self, record: ActivationRecord) -> None:
+        self._records[record.object_name] = record
+
+    def lookup(self, name: str) -> Optional[ActivationRecord]:
+        return self._records.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._records)

@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per evaluation figure.
+
+Each module exposes ``run_figN(...)`` returning structured rows and a
+``format_table`` helper that prints the same series the paper plots.  The
+benchmark suite (``benchmarks/``) drives these at paper scale; the tests
+drive them at reduced scale and assert the qualitative shape.
+"""
+
+from .common import format_table
+from .fig2_solvers import Fig2Row, run_fig2
+from .fig4_dna import Fig4Row, run_fig4
+from .fig5_pipeline import Fig5Row, run_fig5
+
+__all__ = [
+    "Fig2Row",
+    "Fig4Row",
+    "Fig5Row",
+    "format_table",
+    "run_fig2",
+    "run_fig4",
+    "run_fig5",
+]

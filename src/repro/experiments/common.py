@@ -1,0 +1,28 @@
+"""Shared experiment utilities."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+
+def format_table(rows: Sequence, title: str = "",
+                 float_fmt: str = "{:10.2f}") -> str:
+    """Render a list of dataclass rows as an aligned text table (the
+    textual equivalent of the paper's figures)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    fields = [f.name for f in dataclasses.fields(rows[0])]
+    header = " ".join(f"{name:>12}" for name in fields)
+    lines = [title, header, "-" * len(header)] if title else [header,
+                                                              "-" * len(header)]
+    for row in rows:
+        cells = []
+        for name in fields:
+            v = getattr(row, name)
+            if isinstance(v, float):
+                cells.append(f"{float_fmt.format(v):>12}")
+            else:
+                cells.append(f"{v!s:>12}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

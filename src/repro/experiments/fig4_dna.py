@@ -1,0 +1,107 @@
+"""Figure 4: centralized vs distributed single objects on a parallel server.
+
+"Execution time from the client's perspective under two different
+distributions of single objects on the parallel server.  In the
+centralized distribution scheme, all list servers are associated with one
+computing thread ... In the second scheme, the list server objects are
+distributed to balance the client's requests."
+
+The five list servers have deliberately unequal per-query costs and the
+server balances them *by number, not by weight* (round-robin), which
+reproduces the paper's note that "redistribution going from 2 to 3
+processors resulted in diminished difference".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import OrbConfig, Simulation
+from ..netsim import ATM_155, Host, Network, SGI_SHMEM
+from ..apps.dnadb import (
+    CATEGORIES,
+    MATCH_QUERY_COST,
+    dna_server_main,
+    list_server_name,
+)
+from ..apps.interfaces import dna_stubs
+
+#: the paper varies the server's processors 1..8
+PAPER_PROCS = tuple(range(1, 9))
+
+#: match rounds: sum(MATCH_QUERY_COST) * MATCH_ROUNDS = the paper's
+#: "total time spent in single object queries ... 30 seconds"
+MATCH_ROUNDS = 20
+
+DEFAULT_QUERY = "ACGTAC"
+DEFAULT_NSEQS = 400
+
+
+@dataclass
+class Fig4Row:
+    procs: int
+    t_centralized: float
+    t_distributed: float
+    difference: float      # centralized - distributed (the right-hand graph)
+
+
+def _network(max_procs: int) -> Network:
+    net = Network()
+    net.add_host(Host("CLIENT", nodes=1, node_flops=5.2e6, intra=SGI_SHMEM))
+    net.add_host(Host("SERVER", nodes=max_procs, node_flops=6.6e6,
+                      intra=SGI_SHMEM))
+    net.connect("CLIENT", "SERVER", ATM_155)
+    return net
+
+
+def _client_main(ctx, query: str, rounds: int, out: dict) -> None:
+    """One client issuing non-blocking requests: a search on the SPMD
+    database object, interleaved with match queries to the five single
+    list-server objects (the paper's §4.2 client)."""
+    mod = dna_stubs()
+    dna_database = mod.dna_db._bind("dna_database")
+    servers = {cat: mod.list_server._bind(list_server_name(cat))
+               for cat in CATEGORIES}
+    t0 = ctx.now()
+    stat = dna_database.search_nb(query)
+    for _ in range(rounds):
+        futures = {cat: servers[cat].match_nb(query[:3])
+                   for cat in CATEGORIES}
+        for cat, fut in futures.items():
+            fut.value()  # process obtained results
+    stat.value()
+    # final processing round
+    for cat in CATEGORIES:
+        servers[cat].match(query[:3])
+    out["total"] = ctx.now() - t0
+
+
+def run_one(procs: int, placement: str, n_seqs: int = DEFAULT_NSEQS,
+            query: str = DEFAULT_QUERY, rounds: int = MATCH_ROUNDS) -> float:
+    """Client-perspective time of one search under one placement."""
+    sim = Simulation(network=_network(max(PAPER_PROCS)),
+                     config=OrbConfig(max_outstanding=1))
+    sim.server(dna_server_main, host="SERVER", nprocs=procs,
+               args=(n_seqs, query, placement), name=f"dna-{placement}")
+    out: dict = {}
+    sim.client(_client_main, host="CLIENT", nprocs=1,
+               args=(query, rounds, out))
+    sim.run()
+    return out["total"]
+
+
+def run_fig4(procs=PAPER_PROCS, n_seqs: int = DEFAULT_NSEQS,
+             query: str = DEFAULT_QUERY,
+             rounds: int = MATCH_ROUNDS) -> list[Fig4Row]:
+    """Regenerate both panels of Figure 4."""
+    rows = []
+    for p in procs:
+        cent = run_one(p, "centralized", n_seqs, query, rounds)
+        dist = run_one(p, "distributed", n_seqs, query, rounds)
+        rows.append(Fig4Row(p, cent, dist, cent - dist))
+    return rows
+
+
+def total_match_work(rounds: int = MATCH_ROUNDS) -> float:
+    """The fixed single-object query workload (30 s in the paper)."""
+    return rounds * sum(MATCH_QUERY_COST.values())

@@ -1,0 +1,170 @@
+"""Figure 5: overall performance of the pipelined metaapplication vs the
+performance of its components.
+
+"The POOMA diffusion component was executing on a 10-node SGI PC and so
+was the sequential process visualizing its output.  The gradient component
+was executing on up to 8 nodes of an IBM SP/2; its visualizing process was
+running on an SGI Indy workstation.  The machines were communicating via
+an Ethernet connection. ... The input was a 128x128 grid; the application
+was executed over 100 time-steps with the gradient computation requested
+every 5-th time-step."
+
+Three series vs matched processor count (1..8): overall metaapplication
+time (client perspective), the diffusion component alone, and the gradient
+component alone.  The reproduction exhibits the paper's two non-scaling
+mechanisms: non-blocking-but-not-oneway sends charge the client the full
+injection time, and with one outstanding request per binding the pipeline
+congests when the gradient's service time exceeds the request interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import OrbConfig, Simulation
+from ..netsim import ETHERNET_10, Host, Network, SGI_SHMEM, SP2_SWITCH
+from ..apps.diffusion import diffusion_client_main
+from ..apps.gradient import gradient_server_main, parallel_magnitude_gradient
+from ..apps.interfaces import PIPELINE_N, pipeline_stubs
+from ..apps.visualizer import visualizer_server_main
+from ..packages.pstl import DVector
+
+PAPER_PROCS = tuple(range(1, 9))
+PAPER_STEPS = 100
+PAPER_GRADIENT_EVERY = 5
+
+#: calibrated 1997-scale effective per-node rates (see EXPERIMENTS.md):
+#: the POOMA stencil retires ~0.69 Mflop/s/node, the SP/2 gradient code
+#: ~0.17 Mflop/s/node — only their ratios to the fixed Ethernet transfer
+#: time matter for the figure's shape.
+SGI_PC_FLOPS = 6.9e5
+SP2_FLOPS = 1.7e5
+INDY_FLOPS = 1.0e6
+
+
+def _network(jitter: float = 0.0, seed: int = 0) -> Network:
+    net = Network(jitter=jitter, seed=seed)
+    net.add_host(Host("SGI_PC", nodes=10, node_flops=SGI_PC_FLOPS,
+                      intra=SGI_SHMEM))
+    net.add_host(Host("SP2", nodes=8, node_flops=SP2_FLOPS,
+                      intra=SP2_SWITCH))
+    net.add_host(Host("INDY", nodes=1, node_flops=INDY_FLOPS))
+    net.connect("SGI_PC", "SP2", ETHERNET_10)
+    net.connect("SP2", "INDY", ETHERNET_10)
+    net.connect("SGI_PC", "INDY", ETHERNET_10)
+    return net
+
+
+@dataclass
+class Fig5Row:
+    procs: int
+    t_overall: float     # the full metaapplication, client perspective
+    t_diffusion: float   # diffusion component alone (with its visualizer)
+    t_gradient: float    # gradient component alone
+
+
+def _sim(config: OrbConfig | None = None, jitter: float = 0.0,
+         seed: int = 0) -> Simulation:
+    return Simulation(network=_network(jitter, seed),
+                      config=config or OrbConfig(max_outstanding=1))
+
+
+def run_overall(procs: int, steps: int = PAPER_STEPS,
+                gradient_every: int = PAPER_GRADIENT_EVERY,
+                n: int = PIPELINE_N,
+                config: OrbConfig | None = None,
+                jitter: float = 0.0, seed: int = 0) -> float:
+    """Full pipeline: diffusion (SGI PC) -> gradient (SP2) -> visualizers."""
+    sim = _sim(config, jitter, seed)
+    sim.server(visualizer_server_main, host="SGI_PC", nprocs=1,
+               node_offset=9, args=("diff_visualizer",), name="viz-diff")
+    sim.server(visualizer_server_main, host="INDY", nprocs=1,
+               args=("grad_visualizer",), name="viz-grad")
+    sim.server(gradient_server_main, host="SP2", nprocs=procs,
+               args=(n, "grad_visualizer"), name="gradient")
+    reports: dict = {}
+    sim.client(diffusion_client_main, host="SGI_PC", nprocs=procs,
+               args=(steps, gradient_every, n, 0.1, "field_operations",
+                     "diff_visualizer", reports), name="diffusion")
+    sim.run()
+    return max(r.elapsed for r in reports.values())
+
+
+def run_diffusion_alone(procs: int, steps: int = PAPER_STEPS,
+                        n: int = PIPELINE_N,
+                        jitter: float = 0.0, seed: int = 0) -> float:
+    """The diffusion component with its visualizer but no gradient."""
+    sim = _sim(jitter=jitter, seed=seed)
+    sim.server(visualizer_server_main, host="SGI_PC", nprocs=1,
+               node_offset=9, args=("diff_visualizer",), name="viz-diff")
+    reports: dict = {}
+    sim.client(diffusion_client_main, host="SGI_PC", nprocs=procs,
+               args=(steps, 5, n, 0.1, None, "diff_visualizer", reports),
+               name="diffusion")
+    sim.run()
+    return max(r.elapsed for r in reports.values())
+
+
+def run_gradient_alone(procs: int, requests: int | None = None,
+                       steps: int = PAPER_STEPS,
+                       gradient_every: int = PAPER_GRADIENT_EVERY,
+                       n: int = PIPELINE_N,
+                       jitter: float = 0.0, seed: int = 0) -> float:
+    """The gradient component alone: the same number of gradient requests
+    the pipeline issues (field transfer + compute + its visualizer),
+    driven back to back from the SGI PC."""
+    if requests is None:
+        requests = steps // gradient_every
+    sim = _sim(jitter=jitter, seed=seed)
+    sim.server(visualizer_server_main, host="INDY", nprocs=1,
+               args=("grad_visualizer",), name="viz-grad")
+    sim.server(gradient_server_main, host="SP2", nprocs=procs,
+               args=(n, "grad_visualizer"), name="gradient")
+    out: dict = {}
+
+    def driver(ctx):
+        mod = pipeline_stubs(None)
+        grad = mod.field_operations._spmd_bind("field_operations")
+        data = np.linspace(0.0, 1.0, n * n)
+        t0 = ctx.now()
+        for _ in range(requests):
+            grad.gradient(data)  # blocking: pure component throughput
+        out["total"] = ctx.now() - t0
+
+    sim.client(driver, host="SGI_PC", nprocs=1, name="grad-driver")
+    sim.run()
+    return out["total"]
+
+
+def run_fig5(procs=PAPER_PROCS, steps: int = PAPER_STEPS,
+             gradient_every: int = PAPER_GRADIENT_EVERY,
+             n: int = PIPELINE_N, repeats: int = 1,
+             jitter: float = 0.0) -> list[Fig5Row]:
+    """Regenerate the Figure 5 series ("in each case shown the number of
+    processors of the diffusion application was matching the number of
+    processors of the gradient computation").
+
+    With ``repeats > 1`` and a nonzero ``jitter``, each point is the mean
+    of several differently-seeded measurements — the paper's "values shown
+    are the average over a series of measurements taken at different
+    times".
+    """
+
+    def mean(fn):
+        return sum(fn(seed) for seed in range(repeats)) / repeats
+
+    rows = []
+    for p in procs:
+        rows.append(Fig5Row(
+            procs=p,
+            t_overall=mean(lambda s: run_overall(
+                p, steps, gradient_every, n, jitter=jitter, seed=s)),
+            t_diffusion=mean(lambda s: run_diffusion_alone(
+                p, steps, n, jitter=jitter, seed=s)),
+            t_gradient=mean(lambda s: run_gradient_alone(
+                p, steps=steps, gradient_every=gradient_every, n=n,
+                jitter=jitter, seed=s)),
+        ))
+    return rows

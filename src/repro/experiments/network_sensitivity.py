@@ -1,0 +1,83 @@
+"""Network sensitivity of the §4.3 pipeline.
+
+The paper closes its pipeline discussion with: "although a more stable
+network configuration would be required to clearly separate these
+influences" — the influences being (1) synchronous send time approaching
+the computation time and (2) pipeline congestion.  The simulation *can*
+separate them: run the same metaapplication over different interconnects
+and with the congestion/offload knobs toggled independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import OrbConfig
+from ..netsim import ETHERNET_10, ETHERNET_100, ATM_155, LinkProfile
+from .fig5_pipeline import run_overall
+
+PROFILES = {
+    "ethernet-10": ETHERNET_10,
+    "ethernet-100": ETHERNET_100,
+    "atm-155": ATM_155,
+}
+
+
+@dataclass
+class SensitivityRow:
+    link: str
+    t_baseline: float        # 1 outstanding, synchronous sends
+    t_comm_threads: float    # sends offloaded
+    t_deep_window: float     # offloaded + 4-deep pipeline
+    send_effect: float       # baseline - comm_threads: the send-time influence
+    congestion_effect: float  # comm_threads - deep_window: the congestion influence
+
+
+def run_sensitivity(procs: int = 4, steps: int = 50, n: int = 64,
+                    links: dict[str, LinkProfile] | None = None
+                    ) -> list[SensitivityRow]:
+    """The Fig-5 pipeline over different interconnects, with the two
+    non-scaling influences measured separately."""
+    import repro.experiments.fig5_pipeline as f5
+
+    rows = []
+    for name, profile in (links or PROFILES).items():
+        original = f5.ETHERNET_10
+
+        def network(jitter=0.0, seed=0, _p=profile):
+            from ..netsim import Host, Network, SGI_SHMEM, SP2_SWITCH
+
+            net = Network(jitter=jitter, seed=seed)
+            net.add_host(Host("SGI_PC", nodes=10,
+                              node_flops=f5.SGI_PC_FLOPS, intra=SGI_SHMEM))
+            net.add_host(Host("SP2", nodes=8, node_flops=f5.SP2_FLOPS,
+                              intra=SP2_SWITCH))
+            net.add_host(Host("INDY", nodes=1, node_flops=f5.INDY_FLOPS))
+            net.connect("SGI_PC", "SP2", _p)
+            net.connect("SP2", "INDY", _p)
+            net.connect("SGI_PC", "INDY", _p)
+            return net
+
+        saved = f5._network
+        f5._network = network
+        try:
+            base = run_overall(procs, steps=steps, n=n,
+                               config=OrbConfig(max_outstanding=1))
+            offload = run_overall(
+                procs, steps=steps, n=n,
+                config=OrbConfig(max_outstanding=1,
+                                 communication_threads=True))
+            deep = run_overall(
+                procs, steps=steps, n=n,
+                config=OrbConfig(max_outstanding=4,
+                                 communication_threads=True))
+        finally:
+            f5._network = saved
+        del original
+        rows.append(SensitivityRow(
+            link=name, t_baseline=base, t_comm_threads=offload,
+            t_deep_window=deep,
+            send_effect=base - offload,
+            congestion_effect=offload - deep,
+        ))
+    return rows

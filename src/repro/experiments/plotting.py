@@ -1,0 +1,90 @@
+"""ASCII line charts for experiment series.
+
+No plotting library ships with the reproduction environment, so the
+figures render as text: good enough to *see* the crossovers and the
+flattening the paper's graphs show, and diffable in CI output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: per-series glyphs, in order
+GLYPHS = "ox+*#@"
+
+
+def ascii_chart(x: Sequence[float], series: dict[str, Sequence[float]],
+                title: str = "", width: int = 64, height: int = 18,
+                x_label: str = "", y_label: str = "") -> str:
+    """Render one or more y-series over shared x values.
+
+    >>> print(ascii_chart([1, 2, 3], {"t": [3.0, 2.0, 1.5]}))  # doctest: +SKIP
+    """
+    if not x or not series:
+        return "(no data)"
+    xs = list(map(float, x))
+    all_y = [float(v) for ys in series.values() for v in ys]
+    y_min = min(all_y + [0.0])
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return round((xv - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(yv: float) -> int:
+        return (height - 1) - round((yv - y_min) / (y_max - y_min)
+                                    * (height - 1))
+
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        pts = [(col(xv), row(float(yv))) for xv, yv in zip(xs, ys)]
+        # connect consecutive points with interpolated marks
+        for (c0, r0), (c1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for k in range(steps + 1):
+                c = round(c0 + (c1 - c0) * k / steps)
+                r = round(r0 + (r1 - r0) * k / steps)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in pts:
+            grid[r][c] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, grow in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(pad)
+        elif i == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(grow)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}".rjust(8)
+    lines.append(" " * pad + "  " + x_axis)
+    if x_label:
+        lines.append(" " * pad + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(("(" + y_label + ")  " if y_label else "") + legend)
+    return "\n".join(lines)
+
+
+def chart_rows(rows: Sequence, x_field: str, y_fields: Sequence[str],
+               title: str = "", **kwargs) -> str:
+    """Chart dataclass rows: ``chart_rows(fig2_rows, "n", ["t_direct", ...])``."""
+    xs = [getattr(r, x_field) for r in rows]
+    series = {f: [getattr(r, f) for r in rows] for f in y_fields}
+    return ascii_chart(xs, series, title=title, x_label=x_field, **kwargs)

@@ -1,0 +1,173 @@
+"""The reproduction scorecard: every qualitative claim the paper's
+evaluation makes, checked programmatically.
+
+``python -m repro.experiments validate`` runs the full battery at reduced
+scale (seconds) and prints a pass/fail table; ``--paper-scale`` uses the
+paper's exact parameters.  The benchmark suite asserts the same claims at
+paper scale; this module makes the list explicit and runnable anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .fig2_solvers import run_fig2
+from .fig4_dna import run_fig4
+from .fig5_pipeline import run_fig5, run_overall
+
+
+@dataclass
+class Claim:
+    id: str
+    source: str          # where the paper makes the claim
+    statement: str
+    check: Callable[[dict], bool]
+
+
+@dataclass
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    detail: str = ""
+
+
+def _data(paper_scale: bool) -> dict:
+    if paper_scale:
+        fig2 = run_fig2()
+        fig4 = run_fig4()
+        fig5 = run_fig5()
+    else:
+        fig2 = run_fig2(sizes=(100, 200, 300))
+        fig4 = run_fig4(procs=(1, 2, 3, 4), n_seqs=80, rounds=8)
+        fig5 = run_fig5(procs=(1, 2, 4), steps=20, n=32)
+    return {"fig2": fig2, "fig4": fig4, "fig5": fig5}
+
+
+def _fig2_distributed_wins(d):
+    return all(r.t_distributed < r.t_same_server for r in d["fig2"])
+
+
+def _fig2_max_decomposition(d):
+    return all(
+        max(r.t_direct, r.t_iterative) <= r.t_distributed
+        <= max(r.t_direct, r.t_iterative) * 1.25 + 0.5
+        for r in d["fig2"]
+    )
+
+
+def _fig2_solutions_agree(d):
+    return all(r.difference < 1e-4 for r in d["fig2"])
+
+
+def _fig2_gap_grows(d):
+    gaps = [r.t_same_server - r.t_distributed for r in d["fig2"]]
+    return gaps[-1] > gaps[0]
+
+
+def _fig4_distributed_wins(d):
+    return all(r.t_distributed < r.t_centralized
+               for r in d["fig4"] if r.procs >= 2)
+
+
+def _fig4_speedup(d):
+    rows = d["fig4"]
+    return rows[-1].t_centralized < rows[0].t_centralized
+
+
+def _fig4_dip_at_three(d):
+    by_p = {r.procs: r.difference for r in d["fig4"]}
+    if 3 not in by_p or 2 not in by_p or 4 not in by_p:
+        return True
+    return by_p[3] < by_p[2] and by_p[4] > by_p[3]
+
+
+def _fig5_all_fall(d):
+    rows = d["fig5"]
+    return all(b.t_overall < a.t_overall and b.t_diffusion < a.t_diffusion
+               for a, b in zip(rows, rows[1:]))
+
+
+def _fig5_overall_above_components(d):
+    return all(r.t_overall > r.t_diffusion for r in d["fig5"])
+
+
+def _fig5_sublinear(d):
+    rows = d["fig5"]
+    speedup = rows[0].t_overall / rows[-1].t_overall
+    return speedup < (rows[-1].procs / rows[0].procs) * 0.85
+
+
+def _s6_commthreads_help(d):
+    from ..core import OrbConfig
+
+    base = run_overall(2, steps=20, n=32,
+                       config=OrbConfig(max_outstanding=1))
+    relief = run_overall(2, steps=20, n=32,
+                         config=OrbConfig(max_outstanding=4,
+                                          communication_threads=True))
+    return relief < base
+
+
+CLAIMS = [
+    Claim("fig2-distributed-wins", "§4.1 / Fig. 2",
+          "distributed servers beat the single-server configuration",
+          _fig2_distributed_wins),
+    Claim("fig2-max-decomposition", "§4.1",
+          "t = to + max{ti, td} with small communication overhead to",
+          _fig2_max_decomposition),
+    Claim("fig2-agreement", "§4.1",
+          "the direct and iterative solutions agree",
+          _fig2_solutions_agree),
+    Claim("fig2-gap-grows", "§4.1 / Fig. 2",
+          "the distributed advantage grows with problem size",
+          _fig2_gap_grows),
+    Claim("fig4-distributed-wins", "§4.2 / Fig. 4",
+          "distributing single objects beats centralizing them (P >= 2)",
+          _fig4_distributed_wins),
+    Claim("fig4-speedup", "§4.2 / Fig. 4",
+          "client time falls as server processors increase",
+          _fig4_speedup),
+    Claim("fig4-dip-at-3", "§4.2 / Fig. 4 (right)",
+          "balancing by number, not weight, dents the difference at P=3",
+          _fig4_dip_at_three),
+    Claim("fig5-scaling", "§4.3 / Fig. 5",
+          "all series fall with matched processor counts",
+          _fig5_all_fall),
+    Claim("fig5-overall-above", "§4.3 / Fig. 5",
+          "the metaapplication stays above its diffusion component",
+          _fig5_overall_above_components),
+    Claim("fig5-flattening", "§4.3",
+          "the advantages of distribution do not scale well (sub-linear)",
+          _fig5_sublinear),
+    Claim("s6-communication-threads", "§6 (future work)",
+          "communication threads + deeper pipeline alleviate congestion",
+          _s6_commthreads_help),
+]
+
+
+def validate(paper_scale: bool = False,
+             claims: Optional[list[Claim]] = None) -> list[ClaimResult]:
+    data = _data(paper_scale)
+    results = []
+    for claim in claims or CLAIMS:
+        try:
+            ok = bool(claim.check(data))
+            results.append(ClaimResult(claim, ok))
+        except Exception as exc:  # a crash is a failure with a reason
+            results.append(ClaimResult(claim, False, f"error: {exc!r}"))
+    return results
+
+
+def format_report(results: list[ClaimResult]) -> str:
+    lines = ["PARDIS reproduction scorecard", "=" * 64]
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        lines.append(f"[{mark}] {r.claim.id:<28} ({r.claim.source})")
+        lines.append(f"       {r.claim.statement}")
+        if r.detail:
+            lines.append(f"       {r.detail}")
+    passed = sum(r.passed for r in results)
+    lines.append("=" * 64)
+    lines.append(f"{passed}/{len(results)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""The PARDIS IDL compiler.
+
+CORBA IDL subset + PARDIS extensions (``dsequence`` distributed sequences,
+``#pragma`` package mappings), compiled to Python stub/skeleton modules.
+
+>>> from repro.idl import compile_idl
+>>> mod = compile_idl('''
+...     typedef dsequence<double, 1024> vec;
+...     interface adder { double sum(in vec v); };
+... ''')
+>>> mod.adder, mod.adder_skel  # doctest: +ELLIPSIS
+(<class '...adder'>, <class '...adder_skel'>)
+"""
+
+from .compiler import (
+    IdlSemanticError,
+    IdlSyntaxError,
+    compile_idl,
+    compile_spec,
+    generate,
+)
+from .parser import parse
+from .semantics import analyze
+
+__all__ = [
+    "IdlSemanticError",
+    "IdlSyntaxError",
+    "analyze",
+    "compile_idl",
+    "compile_spec",
+    "generate",
+    "parse",
+]

@@ -1,0 +1,209 @@
+"""Abstract syntax tree for the PARDIS IDL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# Type expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrimType:
+    """octet/boolean/char/short/ushort/long/ulong/longlong/ulonglong/
+    float/double — already normalized (``unsigned long`` -> ``ulong``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StringType:
+    bound: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SeqType:
+    element: "TypeExpr"
+    bound: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DSeqType:
+    """PARDIS distributed sequence (paper §3.2)."""
+
+    element: "TypeExpr"
+    bound: Optional[int] = None
+    client_dist: str = "BLOCK"
+    server_dist: str = "BLOCK"
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """Fixed-size array introduced by a declarator: ``T name[d0][d1]``."""
+
+    element: "TypeExpr"
+    dims: tuple  # of ConstExpr
+
+
+@dataclass(frozen=True)
+class NamedType:
+    """Reference to a declared type by (possibly scoped) name."""
+
+    scoped_name: tuple[str, ...]
+
+    @property
+    def text(self) -> str:
+        return "::".join(self.scoped_name)
+
+
+@dataclass(frozen=True)
+class VoidType:
+    pass
+
+
+TypeExpr = Union[PrimType, StringType, SeqType, DSeqType, NamedType,
+                 ArrayType, VoidType]
+
+# ---------------------------------------------------------------------------
+# Const expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int | float | str | bool
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    scoped_name: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    op: str
+    operand: "ConstExpr"
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    op: str
+    left: "ConstExpr"
+    right: "ConstExpr"
+
+
+ConstExpr = Union[Literal, ConstRef, UnaryExpr, BinaryExpr]
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pragma:
+    """``#pragma PACKAGE:structure`` — applies to the next dsequence typedef
+    (paper §3.4/§4.3).  Several pragmas may stack onto one typedef."""
+
+    package: str
+    target: str
+    line: int = 0
+
+
+@dataclass
+class Typedef:
+    name: str
+    type: TypeExpr
+    pragmas: list[Pragma] = field(default_factory=list)
+
+
+@dataclass
+class ConstDecl:
+    name: str
+    type: TypeExpr
+    value: ConstExpr
+
+
+@dataclass
+class StructMember:
+    name: str
+    type: TypeExpr
+
+
+@dataclass
+class StructDecl:
+    name: str
+    members: list[StructMember]
+
+
+@dataclass
+class EnumDecl:
+    name: str
+    members: list[str]
+
+
+@dataclass
+class UnionCase:
+    """One arm of a union: labels is a list of ConstExpr, or the string
+    "default" for the default arm."""
+
+    labels: list
+    name: str
+    type: TypeExpr
+
+
+@dataclass
+class UnionDecl:
+    name: str
+    discriminator: TypeExpr
+    cases: list
+
+
+@dataclass
+class ExceptionDecl:
+    name: str
+    members: list[StructMember]
+
+
+@dataclass
+class Param:
+    direction: str  # "in" | "out" | "inout"
+    type: TypeExpr
+    name: str
+
+
+@dataclass
+class Operation:
+    name: str
+    return_type: TypeExpr
+    params: list[Param]
+    oneway: bool = False
+    raises: list[NamedType] = field(default_factory=list)
+
+
+@dataclass
+class Attribute:
+    name: str
+    type: TypeExpr
+    readonly: bool = False
+
+
+@dataclass
+class InterfaceDecl:
+    name: str
+    bases: list[NamedType]
+    body: list  # Operation | Attribute | Typedef | ConstDecl | ...
+
+
+@dataclass
+class ModuleDecl:
+    name: str
+    body: list
+
+
+@dataclass
+class Specification:
+    """A parsed IDL file."""
+
+    definitions: list

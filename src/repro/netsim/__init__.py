@@ -1,0 +1,39 @@
+"""Simulated network substrate (the reproduction's NexusLite).
+
+Hosts with per-node compute rates, links with latency/bandwidth/overhead
+profiles, and a framed-packet transport with synchronous vs. oneway send
+semantics.
+"""
+
+from .profiles import (
+    ATM_155,
+    ETHERNET_10,
+    ETHERNET_100,
+    LOOPBACK,
+    PRESETS,
+    SGI_SHMEM,
+    SP2_SWITCH,
+    LinkProfile,
+)
+from .topology import Host, Network, NoRouteError
+from .transport import ANY, Address, Endpoint, Packet, Transport, estimate_nbytes
+
+__all__ = [
+    "ANY",
+    "ATM_155",
+    "Address",
+    "ETHERNET_10",
+    "ETHERNET_100",
+    "Endpoint",
+    "Host",
+    "LOOPBACK",
+    "LinkProfile",
+    "Network",
+    "NoRouteError",
+    "PRESETS",
+    "Packet",
+    "SGI_SHMEM",
+    "SP2_SWITCH",
+    "Transport",
+    "estimate_nbytes",
+]

@@ -1,0 +1,2 @@
+"""Miniature reproductions of the parallel packages PARDIS interfaces to:
+POOMA (fields on grids) and HPC++ PSTL (distributed vectors)."""

@@ -1,0 +1,21 @@
+"""Mini-POOMA: a high-performance distributed simulation environment
+(after [ABC+95]), reduced to what the paper's §4.3 experiments exercise —
+2-D fields block-decomposed by rows with ghost-cell exchange, stencil
+updates, and a PARDIS container mapping.
+"""
+
+from .field import Field
+from .layout import GridLayout
+from .layout2d import Field2D, GridLayout2D, diffusion_step_2d
+from .stencil import diffusion_step, magnitude_gradient, nine_point_stencil
+
+__all__ = [
+    "Field",
+    "Field2D",
+    "GridLayout",
+    "GridLayout2D",
+    "diffusion_step",
+    "diffusion_step_2d",
+    "magnitude_gradient",
+    "nine_point_stencil",
+]

@@ -1,0 +1,121 @@
+"""POOMA-style distributed 2-D fields with ghost cells."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ...runtime.collectives import _next_tag, gather
+from .layout import GridLayout
+
+
+class Field:
+    """A 2-D scalar field block-decomposed by rows, one ghost row on each
+    interior boundary.
+
+    ``data`` holds ``local_rows + 2`` x ``nx`` values; row 0 and row -1
+    are ghosts (unused at the physical boundary).  Stencil code operates
+    on the interior view after :meth:`exchange_ghosts`.
+    """
+
+    def __init__(self, layout: GridLayout, rank: int,
+                 rts=None, initial: Optional[np.ndarray] = None) -> None:
+        self.layout = layout
+        self.rank = rank
+        self.rts = rts
+        rows = layout.local_rows(rank)
+        self.data = np.zeros((rows + 2, layout.nx))
+        if initial is not None:
+            initial = np.asarray(initial, dtype=float)
+            if initial.shape == (layout.ny, layout.nx):
+                self.data[1:-1, :] = initial[
+                    layout.row_start(rank):layout.row_stop(rank), :]
+            elif initial.shape == (rows, layout.nx):
+                self.data[1:-1, :] = initial
+            else:
+                raise ValueError(
+                    f"initial data of shape {initial.shape} matches neither "
+                    f"the global grid {(layout.ny, layout.nx)} nor the local "
+                    f"block {(rows, layout.nx)}"
+                )
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def interior(self) -> np.ndarray:
+        """This context's owned rows (no ghosts); writable view."""
+        return self.data[1:-1, :]
+
+    @interior.setter
+    def interior(self, values) -> None:
+        self.data[1:-1, :] = values
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.layout.ny, self.layout.nx)
+
+    # -- communication ------------------------------------------------------------
+
+    def exchange_ghosts(self) -> None:
+        """Swap boundary rows with the neighbouring contexts.
+
+        Deadlock-free ordering: everyone sends both directions first (the
+        transport buffers), then receives.  Costs real virtual time via
+        the RTS.
+        """
+        if self.rts is None or self.layout.p == 1:
+            return
+        rts = self.rts
+        tag = _next_tag(rts)
+        up, down = self.layout.neighbors(self.rank)
+        nbytes = self.layout.nx * 8
+        if up is not None:
+            rts.send_reserved(up, ("from_below", self.data[1, :].copy()),
+                              tag, nbytes=nbytes)
+        if down is not None:
+            rts.send_reserved(down, ("from_above", self.data[-2, :].copy()),
+                              tag, nbytes=nbytes)
+        for _ in range(int(up is not None) + int(down is not None)):
+            msg = rts.recv(tag=tag)
+            kind, row = msg.payload
+            if kind == "from_above":   # sent by my upper neighbour
+                self.data[0, :] = row
+            else:                      # sent by my lower neighbour
+                self.data[-1, :] = row
+
+    def assemble(self, root: int = 0) -> Optional[np.ndarray]:
+        """Collective: the full ``ny`` x ``nx`` array on ``root``."""
+        if self.rts is None or self.layout.p == 1:
+            return self.interior.copy()
+        pieces = gather(self.rts, (self.layout.row_start(self.rank),
+                                   self.interior.copy()), root=root)
+        if pieces is None:
+            return None
+        full = np.zeros(self.shape)
+        for start, block in pieces:
+            full[start:start + block.shape[0], :] = block
+        return full
+
+    # -- element-wise operations -----------------------------------------------------
+
+    def fill(self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> None:
+        """Set interior values from global coordinates: ``fn(Y, X)``."""
+        ys = np.arange(self.layout.row_start(self.rank),
+                       self.layout.row_stop(self.rank))
+        xs = np.arange(self.layout.nx)
+        yy, xx = np.meshgrid(ys, xs, indexing="ij")
+        self.interior = fn(yy, xx)
+
+    def copy(self) -> "Field":
+        out = Field(self.layout, self.rank, self.rts)
+        out.data[:] = self.data
+        return out
+
+    def local_norm2(self) -> float:
+        return float(np.sum(self.interior ** 2))
+
+    def __repr__(self) -> str:
+        return (f"<Field {self.layout.ny}x{self.layout.nx} "
+                f"ctx={self.rank}/{self.layout.p} "
+                f"rows={self.layout.local_rows(self.rank)}>")

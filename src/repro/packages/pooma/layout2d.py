@@ -1,0 +1,198 @@
+"""Two-dimensional block decomposition for POOMA fields.
+
+The paper's diffusion example needs only block-rows
+(:class:`~repro.packages.pooma.layout.GridLayout`); real POOMA decomposes
+in both dimensions.  :class:`GridLayout2D` tiles an ``ny`` x ``nx`` grid
+over a ``py`` x ``px`` process grid, and :class:`Field2D` carries one
+ghost cell on every side with a two-phase edge exchange (left/right first,
+then up/down including the exchanged corners — so 9-point stencils see
+correct corner ghosts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ...core.distribution import Distribution
+from ...runtime.collectives import _next_tag, gather
+from .stencil import STENCIL_FLOPS_PER_POINT, nine_point_stencil
+
+
+class GridLayout2D:
+    """Block tiling of an ``ny`` x ``nx`` grid over ``py`` x ``px``
+    contexts; context ``rank`` sits at grid position
+    ``(rank // px, rank % px)``."""
+
+    def __init__(self, ny: int, nx: int, py: int, px: int) -> None:
+        if ny < 1 or nx < 1:
+            raise ValueError(f"grid must be at least 1x1, got {ny}x{nx}")
+        if py < 1 or px < 1 or py > ny or px > nx:
+            raise ValueError(
+                f"cannot tile {ny}x{nx} over {py}x{px} contexts"
+            )
+        self.ny, self.nx = ny, nx
+        self.py, self.px = py, px
+        self._rows = Distribution.block(ny, py)
+        self._cols = Distribution.block(nx, px)
+
+    @property
+    def p(self) -> int:
+        return self.py * self.px
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        if not (0 <= rank < self.p):
+            raise ValueError(f"rank {rank} out of range for {self.p} contexts")
+        return divmod(rank, self.px)
+
+    def rank_at(self, ry: int, rx: int) -> int:
+        return ry * self.px + rx
+
+    def row_range(self, rank: int) -> tuple[int, int]:
+        ry, _ = self.coords(rank)
+        ivs = self._rows.intervals(ry)
+        return ivs[0] if ivs else (0, 0)
+
+    def col_range(self, rank: int) -> tuple[int, int]:
+        _, rx = self.coords(rank)
+        ivs = self._cols.intervals(rx)
+        return ivs[0] if ivs else (0, 0)
+
+    def local_shape(self, rank: int) -> tuple[int, int]:
+        (r0, r1), (c0, c1) = self.row_range(rank), self.col_range(rank)
+        return (r1 - r0, c1 - c0)
+
+    def neighbors(self, rank: int) -> dict:
+        """{"up": rank|None, "down": ..., "left": ..., "right": ...}"""
+        ry, rx = self.coords(rank)
+        return {
+            "up": self.rank_at(ry - 1, rx) if ry > 0 else None,
+            "down": self.rank_at(ry + 1, rx) if ry < self.py - 1 else None,
+            "left": self.rank_at(ry, rx - 1) if rx > 0 else None,
+            "right": self.rank_at(ry, rx + 1) if rx < self.px - 1 else None,
+        }
+
+    def flat_distribution(self) -> Distribution:
+        """Row-major flattening: each context owns one interval per local
+        row (the bridge to PARDIS distributed sequences)."""
+        parts = []
+        for rank in range(self.p):
+            (r0, r1), (c0, c1) = self.row_range(rank), self.col_range(rank)
+            parts.append([(r * self.nx + c0, r * self.nx + c1)
+                          for r in range(r0, r1)] if c1 > c0 else [])
+        return Distribution.explicit(parts, self.ny * self.nx)
+
+
+class Field2D:
+    """A 2-D field tiled in both dimensions, one ghost cell per side."""
+
+    def __init__(self, layout: GridLayout2D, rank: int, rts=None,
+                 initial: Optional[np.ndarray] = None) -> None:
+        self.layout = layout
+        self.rank = rank
+        self.rts = rts
+        rows, cols = layout.local_shape(rank)
+        self.data = np.zeros((rows + 2, cols + 2))
+        if initial is not None:
+            initial = np.asarray(initial, dtype=float)
+            (r0, r1), (c0, c1) = (layout.row_range(rank),
+                                  layout.col_range(rank))
+            if initial.shape == (layout.ny, layout.nx):
+                self.data[1:-1, 1:-1] = initial[r0:r1, c0:c1]
+            elif initial.shape == (rows, cols):
+                self.data[1:-1, 1:-1] = initial
+            else:
+                raise ValueError(
+                    f"initial data of shape {initial.shape} matches neither "
+                    f"the global grid nor the local tile {(rows, cols)}"
+                )
+
+    @property
+    def interior(self) -> np.ndarray:
+        return self.data[1:-1, 1:-1]
+
+    @interior.setter
+    def interior(self, values) -> None:
+        self.data[1:-1, 1:-1] = values
+
+    def fill(self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> None:
+        (r0, r1), (c0, c1) = (self.layout.row_range(self.rank),
+                              self.layout.col_range(self.rank))
+        yy, xx = np.meshgrid(np.arange(r0, r1), np.arange(c0, c1),
+                             indexing="ij")
+        self.interior = fn(yy, xx)
+
+    # -- communication ----------------------------------------------------------
+
+    def exchange_ghosts(self) -> None:
+        """Two-phase edge exchange: columns first, then rows *including*
+        the just-received column ghosts, so diagonal (corner) ghost cells
+        end up correct — required by 9-point stencils."""
+        if self.rts is None or self.layout.p == 1:
+            return
+        nb = self.layout.neighbors(self.rank)
+        self._swap(nb["left"], nb["right"],
+                   send_left=lambda: self.data[1:-1, 1].copy(),
+                   send_right=lambda: self.data[1:-1, -2].copy(),
+                   recv_left=lambda v: self.data.__setitem__(
+                       (slice(1, -1), 0), v),
+                   recv_right=lambda v: self.data.__setitem__(
+                       (slice(1, -1), -1), v))
+        self._swap(nb["up"], nb["down"],
+                   send_left=lambda: self.data[1, :].copy(),
+                   send_right=lambda: self.data[-2, :].copy(),
+                   recv_left=lambda v: self.data.__setitem__(0, v),
+                   recv_right=lambda v: self.data.__setitem__(-1, v))
+
+    def _swap(self, lo, hi, send_left, send_right, recv_left, recv_right):
+        rts = self.rts
+        tag = _next_tag(rts)
+        if lo is not None:
+            rts.send_reserved(lo, ("to_lo", send_left()), tag)
+        if hi is not None:
+            rts.send_reserved(hi, ("to_hi", send_right()), tag)
+        for _ in range(int(lo is not None) + int(hi is not None)):
+            msg = rts.recv(tag=tag)
+            kind, edge = msg.payload
+            if kind == "to_hi":     # sent by my lower-index neighbour
+                recv_left(edge)
+            else:                   # sent by my higher-index neighbour
+                recv_right(edge)
+
+    def assemble(self, root: int = 0) -> Optional[np.ndarray]:
+        if self.rts is None or self.layout.p == 1:
+            return self.interior.copy()
+        pieces = gather(
+            self.rts,
+            (self.layout.row_range(self.rank),
+             self.layout.col_range(self.rank), self.interior.copy()),
+            root=root,
+        )
+        if pieces is None:
+            return None
+        full = np.zeros((self.layout.ny, self.layout.nx))
+        for (r0, r1), (c0, c1), tile in pieces:
+            full[r0:r1, c0:c1] = tile
+        return full
+
+
+def diffusion_step_2d(field: Field2D, alpha: float = 0.1,
+                      charge: bool = True) -> None:
+    """One 9-point diffusion step on a 2-D-tiled field (zero-flux walls)."""
+    field.exchange_ghosts()
+    lay = field.layout
+    padded = field.data.copy()
+    (r0, r1), (c0, c1) = lay.row_range(field.rank), lay.col_range(field.rank)
+    if r0 == 0:
+        padded[0, :] = padded[1, :]
+    if r1 == lay.ny:
+        padded[-1, :] = padded[-2, :]
+    if c0 == 0:
+        padded[:, 0] = padded[:, 1]
+    if c1 == lay.nx:
+        padded[:, -1] = padded[:, -2]
+    field.interior = nine_point_stencil(padded, alpha)
+    if charge and field.rts is not None:
+        rows, cols = field.interior.shape
+        field.rts.charge_flops(rows * cols * STENCIL_FLOPS_PER_POINT)

@@ -1,0 +1,80 @@
+"""PARDIS <-> POOMA container mapping (``#pragma POOMA:field``).
+
+Compiling an IDL file with ``-pooma`` makes dsequence parameters whose
+typedef carries this pragma marshal directly into :class:`Field` objects:
+the stub hands the servant/client a Field, and the wire sees the field's
+row-major flattening with its natural block-row distribution — "stub code
+marshaling the distributed sequence into a POOMA field" (§4.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...core.dsequence import DistributedSequence
+from ...core.stubapi import current_context, register_adapter
+from .field import Field
+from .layout import GridLayout
+
+
+class FieldAdapter:
+    """Container adapter between POOMA fields and distributed sequences.
+
+    The IDL carries a flat length; the grid shape is recovered as the
+    square root (the paper's example is the square ``N x N`` diffusion
+    grid).  Non-square grids can register a dedicated adapter built with
+    an explicit shape.
+    """
+
+    def __init__(self, shape: tuple[int, int] | None = None) -> None:
+        self.shape = shape
+
+    # -- protocol used by repro.core.marshal ------------------------------------
+
+    def handles(self, value) -> bool:
+        return isinstance(value, Field)
+
+    def unwrap(self, field: Field, element_tc) -> DistributedSequence:
+        """Field -> row-major dsequence, zero-copy (the interior rows of a
+        C-ordered array are contiguous)."""
+        dist = field.layout.flat_distribution()
+        flat = field.interior.reshape(-1)
+        return DistributedSequence.adopt(flat, dist, field.rank, element_tc)
+
+    def wrap(self, dseq: DistributedSequence) -> Field:
+        """dsequence -> Field on the calling context's layout.
+
+        Requires the sequence's distribution to sit on whole-row
+        boundaries; the stubs guarantee that by requesting the layout's
+        flat distribution for "out" arguments.
+        """
+        ny, nx = self._grid_shape(len(dseq))
+        ctx = current_context()
+        layout = GridLayout(ny, nx, dseq.dist.p)
+        expected = layout.flat_distribution()
+        if expected.parts != dseq.dist.parts:
+            # Lay the data out on row boundaries first.
+            dseq = dseq.redistribute(expected, ctx.rts)
+        local = np.asarray(dseq.owned_data, dtype=float).reshape(
+            layout.local_rows(dseq.rank), nx)
+        return Field(layout, dseq.rank, ctx.rts, initial=local)
+
+    def _grid_shape(self, n: int) -> tuple[int, int]:
+        if self.shape is not None:
+            if self.shape[0] * self.shape[1] != n:
+                raise ValueError(
+                    f"adapter shape {self.shape} does not match length {n}"
+                )
+            return self.shape
+        side = int(math.isqrt(n))
+        if side * side != n:
+            raise ValueError(
+                f"cannot infer a square grid from length {n}; register a "
+                "FieldAdapter with an explicit shape"
+            )
+        return (side, side)
+
+
+register_adapter("POOMA", "field", FieldAdapter())

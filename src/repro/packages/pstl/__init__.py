@@ -1,0 +1,9 @@
+"""Mini HPC++ PSTL: the Parallel Standard Template Library (after
+[GBJ+ar]), reduced to the distributed vector and the parallel algorithms
+the paper's gradient component needs.
+"""
+
+from .algorithms import par_for_each, par_reduce, par_transform
+from .dvector import DVector
+
+__all__ = ["DVector", "par_for_each", "par_reduce", "par_transform"]

@@ -1,0 +1,79 @@
+"""The PSTL distributed vector."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...core.distribution import Distribution
+from ...runtime.collectives import gather
+
+
+class DVector:
+    """A block-distributed 1-D vector of doubles, HPC++-PSTL style.
+
+    Each computing thread holds a contiguous block; parallel algorithms
+    (:mod:`repro.packages.pstl.algorithms`) iterate the local block and
+    combine with RTS collectives.
+    """
+
+    def __init__(self, n: int, rank: int, nprocs: int, rts=None,
+                 local: Optional[np.ndarray] = None,
+                 dist: Optional[Distribution] = None) -> None:
+        self.dist = dist if dist is not None else Distribution.block(n, nprocs)
+        if self.dist.n != n:
+            raise ValueError("distribution length does not match n")
+        self.rank = rank
+        self.rts = rts
+        size = self.dist.local_size(rank)
+        if local is None:
+            self.local = np.zeros(size)
+        else:
+            local = np.asarray(local, dtype=float)
+            if local.shape != (size,):
+                raise ValueError(
+                    f"local block of {local.shape} does not match the "
+                    f"expected size {size}"
+                )
+            self.local = local
+
+    @classmethod
+    def from_global(cls, data, rank: int, nprocs: int, rts=None) -> "DVector":
+        data = np.asarray(data, dtype=float)
+        dist = Distribution.block(len(data), nprocs)
+        a, b = dist.intervals(rank)[0] if dist.intervals(rank) else (0, 0)
+        return cls(len(data), rank, nprocs, rts, local=data[a:b].copy(),
+                   dist=dist)
+
+    def __len__(self) -> int:
+        return self.dist.n
+
+    @property
+    def local_size(self) -> int:
+        return len(self.local)
+
+    def local_range(self) -> tuple[int, int]:
+        ivs = self.dist.intervals(self.rank)
+        return ivs[0] if ivs else (0, 0)
+
+    def assemble(self, root: int = 0) -> Optional[np.ndarray]:
+        """Collective: the whole vector on ``root``."""
+        if self.rts is None or self.dist.p == 1:
+            return self.local.copy()
+        pieces = gather(self.rts, (self.local_range()[0], self.local.copy()),
+                        root=root)
+        if pieces is None:
+            return None
+        out = np.zeros(len(self))
+        for start, block in pieces:
+            out[start:start + len(block)] = block
+        return out
+
+    def copy(self) -> "DVector":
+        return DVector(len(self), self.rank, self.dist.p, self.rts,
+                       local=self.local.copy(), dist=self.dist)
+
+    def __repr__(self) -> str:
+        return (f"<DVector n={len(self)} rank={self.rank}/{self.dist.p} "
+                f"local={self.local_size}>")

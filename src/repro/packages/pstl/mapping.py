@@ -1,0 +1,40 @@
+"""PARDIS <-> HPC++ PSTL container mapping (``#pragma HPC++:vector``).
+
+Compiling with ``-hpcxx`` makes pragma'd dsequence parameters marshal
+directly into :class:`DVector` objects — "a '-hpcxx' option will cause it
+to generate stub code suitable for PSTL distributed vector" (§4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.distribution import Distribution
+from ...core.dsequence import DistributedSequence
+from ...core.stubapi import current_context, register_adapter
+from .dvector import DVector
+
+
+class VectorAdapter:
+    """Container adapter between PSTL distributed vectors and PARDIS
+    distributed sequences (both 1-D; block layouts map directly)."""
+
+    def handles(self, value) -> bool:
+        return isinstance(value, DVector)
+
+    def unwrap(self, vec: DVector, element_tc) -> DistributedSequence:
+        return DistributedSequence.adopt(vec.local, vec.dist, vec.rank,
+                                         element_tc)
+
+    def wrap(self, dseq: DistributedSequence) -> DVector:
+        ctx = current_context()
+        dist = dseq.dist
+        if dist.kind not in ("BLOCK", "EXPLICIT", "TEMPLATE", "CONCENTRATED"):
+            dist = Distribution.block(dseq.dist.n, dseq.dist.p)
+            dseq = dseq.redistribute(dist, ctx.rts)
+        return DVector(len(dseq), dseq.rank, dist.p, ctx.rts,
+                       local=np.asarray(dseq.owned_data, dtype=float),
+                       dist=dist)
+
+
+register_adapter("HPC++", "vector", VectorAdapter())

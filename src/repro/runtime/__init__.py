@@ -1,0 +1,55 @@
+"""Run-time-system interface and backends (paper §2.2).
+
+The ORB reaches the computing threads of a parallel program only through
+the minimal :class:`RuntimeSystem` contract; three interchangeable
+backends demonstrate the interoperability claim: :class:`MPIRuntime`
+(two-sided, tag-matched), :class:`TulipRuntime` (adds one-sided get/put)
+and :class:`PoomaRuntime` (POOMA's context vocabulary).
+"""
+
+from ..netsim import ANY
+from . import collectives
+from .interface import RtsMessage, RuntimeSystem
+from .mpi import MPIRuntime
+from .pooma_rts import PoomaRuntime
+from .program import PORT_ORB, PORT_RTS, ParallelProgram, World
+from .tags import (
+    PARDIS_TAG_BASE,
+    ReservedTagError,
+    TAG_ACTIVATION,
+    TAG_ARG_FRAGMENT,
+    TAG_CONTROL,
+    TAG_REPLY_HEADER,
+    TAG_REPOSITORY,
+    TAG_REQUEST_HEADER,
+    TAG_RESULT_FRAGMENT,
+    check_user_tag,
+    is_reserved,
+)
+from .tulip import OneSidedError, TulipRuntime
+
+__all__ = [
+    "ANY",
+    "MPIRuntime",
+    "OneSidedError",
+    "PARDIS_TAG_BASE",
+    "PORT_ORB",
+    "PORT_RTS",
+    "ParallelProgram",
+    "PoomaRuntime",
+    "ReservedTagError",
+    "RtsMessage",
+    "RuntimeSystem",
+    "TAG_ACTIVATION",
+    "TAG_ARG_FRAGMENT",
+    "TAG_CONTROL",
+    "TAG_REPLY_HEADER",
+    "TAG_REPOSITORY",
+    "TAG_REQUEST_HEADER",
+    "TAG_RESULT_FRAGMENT",
+    "TulipRuntime",
+    "World",
+    "check_user_tag",
+    "collectives",
+    "is_reserved",
+]

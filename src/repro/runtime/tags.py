@@ -1,0 +1,51 @@
+"""Reserved message-tag space.
+
+The paper (§2.2) requires "a way to distinguish between PARDIS messages
+and messages pertaining to computation in user code (for example through a
+set of reserved message tags)".  We reserve everything at and above
+``PARDIS_TAG_BASE``; user code must stay below it, which the runtime
+enforces on every send.
+"""
+
+from __future__ import annotations
+
+#: First reserved tag. User tags must satisfy ``0 <= tag < PARDIS_TAG_BASE``.
+PARDIS_TAG_BASE = 1 << 24
+
+# -- PARDIS protocol tags (used by the ORB) -----------------------------------
+TAG_REQUEST_HEADER = PARDIS_TAG_BASE + 1
+TAG_REPLY_HEADER = PARDIS_TAG_BASE + 2
+TAG_ARG_FRAGMENT = PARDIS_TAG_BASE + 3
+TAG_RESULT_FRAGMENT = PARDIS_TAG_BASE + 4
+TAG_REPOSITORY = PARDIS_TAG_BASE + 5
+TAG_ACTIVATION = PARDIS_TAG_BASE + 6
+TAG_CONTROL = PARDIS_TAG_BASE + 7
+
+# -- internal runtime tags ------------------------------------------------------
+#: Base tag for collectives; each collective call consumes one tag out of a
+#: large rotating window so that back-to-back collectives never alias.
+TAG_COLLECTIVE_BASE = PARDIS_TAG_BASE + (1 << 16)
+TAG_COLLECTIVE_WINDOW = 1 << 20
+
+#: One-sided (Tulip-style) protocol tags.
+TAG_ONESIDED = PARDIS_TAG_BASE + 9
+
+
+class ReservedTagError(ValueError):
+    """User code attempted to send with a tag in the reserved range."""
+
+
+def check_user_tag(tag: int) -> int:
+    if not (0 <= tag < PARDIS_TAG_BASE):
+        raise ReservedTagError(
+            f"tag {tag} is in the PARDIS reserved range (>= {PARDIS_TAG_BASE})"
+        )
+    return tag
+
+
+def is_reserved(tag: int) -> bool:
+    return tag >= PARDIS_TAG_BASE
+
+
+def collective_tag(seq: int) -> int:
+    return TAG_COLLECTIVE_BASE + (seq % TAG_COLLECTIVE_WINDOW)

@@ -1,0 +1,126 @@
+"""Timestamped message channels.
+
+A :class:`Channel` is a mailbox of messages, each carrying a virtual
+*arrival time*.  A receiver can only take a message once its own clock has
+reached the arrival time; receiving an in-flight message blocks the
+receiver and resumes it exactly at arrival.  This is the delivery
+primitive underneath both the network transport and the intra-program
+run-time systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .kernel import SimKernel, SimThread
+
+MatchFn = Callable[["Envelope"], bool]
+
+
+@dataclass
+class Envelope:
+    """A message queued in a channel."""
+
+    arrival: float
+    seq: int
+    payload: Any
+    meta: dict = field(default_factory=dict)
+
+
+class Channel:
+    """Mailbox with virtual-time delivery and predicate-matched receive."""
+
+    def __init__(self, kernel: SimKernel, name: str = "chan") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._queue: list[Envelope] = []
+        self._waiters: list[tuple[SimThread, Optional[MatchFn]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- sending ------------------------------------------------------------
+
+    def push(self, payload: Any, arrival: float, **meta) -> Envelope:
+        """Deposit a message that becomes visible at virtual ``arrival``."""
+        env = Envelope(arrival, self._seq, payload, meta)
+        self._seq += 1
+        # Keep the queue sorted by (arrival, seq) so receive order is the
+        # message delivery order, not the send-call order.
+        idx = len(self._queue)
+        while idx > 0 and (self._queue[idx - 1].arrival, self._queue[idx - 1].seq) > (arrival, env.seq):
+            idx -= 1
+        self._queue.insert(idx, env)
+        self._notify()
+        return env
+
+    def _notify(self) -> None:
+        """Wake any waiter whose predicate now has a matching message."""
+        if not self._waiters:
+            return
+        claimed: list[int] = []
+        for wi, (thread, match) in enumerate(self._waiters):
+            env = self._find(match, exclude=claimed)
+            if env is not None:
+                claimed.append(self._queue.index(env))
+                self.kernel.wake(thread, env.arrival)
+        # Waiters stay registered until they actually dequeue; spurious
+        # wake-ups re-block below in receive().
+
+    def _find(self, match: Optional[MatchFn], exclude=()) -> Optional[Envelope]:
+        for i, env in enumerate(self._queue):
+            if i in exclude:
+                continue
+            if match is None or match(env):
+                return env
+        return None
+
+    # -- receiving ----------------------------------------------------------
+
+    def poll(self, match: MatchFn | None = None) -> Optional[Envelope]:
+        """Non-blocking receive: a matching message whose arrival time has
+        passed on the calling thread's clock, else ``None``."""
+        th = self.kernel.current()
+        env = self._find(match)
+        if env is not None and env.arrival <= th.now:
+            self._queue.remove(env)
+            return env
+        return None
+
+    def peek(self, match: MatchFn | None = None) -> Optional[Envelope]:
+        """Like :meth:`poll` but leaves the message in the channel."""
+        th = self.kernel.current()
+        env = self._find(match)
+        if env is not None and env.arrival <= th.now:
+            return env
+        return None
+
+    def receive(self, match: MatchFn | None = None,
+                reason: str = "channel.receive",
+                deadline: float | None = None) -> Optional[Envelope]:
+        """Blocking receive; the caller's clock advances to the arrival
+        time of the message it takes (if later than its current time).
+
+        With a ``deadline`` (absolute virtual time), gives up and returns
+        ``None`` once the clock reaches it with no matching message.
+        """
+        th = self.kernel.current()
+        while True:
+            env = self._find(match)
+            if env is not None and env.arrival <= th.now:
+                self._queue.remove(env)
+                return env
+            if deadline is not None and th.now >= deadline:
+                return None
+            self._waiters.append((th, match))
+            if env is not None:
+                # In flight: wake at arrival, then re-check (an earlier
+                # message may have slipped in while we slept).
+                self.kernel.wake(th, min(env.arrival, deadline)
+                                 if deadline is not None else env.arrival)
+            elif deadline is not None:
+                self.kernel.wake(th, deadline)
+            self.kernel.block(f"{reason} on {self.name}")
+            self._waiters.remove((th, match))

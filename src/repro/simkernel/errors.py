@@ -1,0 +1,45 @@
+"""Exception hierarchy for the virtual-time kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class DeadlockError(SimError):
+    """Raised by :meth:`SimKernel.run` when the event queue drains while
+    simulated threads are still blocked.
+
+    The message lists every blocked thread and what it is waiting on, which
+    is usually enough to spot a missing send or a mismatched collective.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        lines = ", ".join(
+            f"{t.name} (waiting on {t.wait_reason or 'unknown'})" for t in self.blocked
+        )
+        super().__init__(f"simulation deadlock: {len(self.blocked)} thread(s) blocked: {lines}")
+
+
+class SimKilled(BaseException):
+    """Injected into simulated threads when the kernel tears down.
+
+    Derives from ``BaseException`` so that well-meaning ``except Exception``
+    blocks in user code do not swallow kernel shutdown.
+    """
+
+
+class NotInSimThread(SimError):
+    """A kernel operation was invoked from outside any simulated thread."""
+
+
+class SimThreadFailed(SimError):
+    """A simulated thread raised; re-raised in :meth:`SimKernel.run` with
+    the original exception chained as ``__cause__``."""
+
+    def __init__(self, thread_name: str, exc: BaseException):
+        self.thread_name = thread_name
+        self.original = exc
+        super().__init__(f"simulated thread {thread_name!r} failed: {exc!r}")

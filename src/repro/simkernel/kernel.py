@@ -1,0 +1,290 @@
+"""Deterministic cooperative virtual-time kernel.
+
+Every "computing thread" of a PARDIS client or server runs on a
+:class:`SimThread`: a real OS thread that the kernel resumes **one at a
+time** in virtual-time order.  Real Python/numpy code executes normally
+(and instantaneously in virtual time); simulated durations are charged
+explicitly with :meth:`SimKernel.advance`.
+
+Scheduling is a textbook discrete-event loop: the runnable thread with the
+earliest ``(wake time, insertion seq)`` runs until it yields by advancing
+time, blocking, or finishing.  Because exactly one thread runs at a time
+and ties break deterministically, a simulation is reproducible bit-for-bit
+— the property every test and benchmark in this repository leans on.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Optional
+
+from .errors import DeadlockError, NotInSimThread, SimError, SimKilled, SimThreadFailed
+from .events import EventQueue
+
+_current = threading.local()
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    READY = "ready"        # has a wake event in the queue
+    RUNNING = "running"
+    BLOCKED = "blocked"    # waiting to be woken by another thread
+    DONE = "done"
+    FAILED = "failed"
+
+
+class SimThread:
+    """A simulated computing thread with its own virtual clock.
+
+    ``now`` is the thread's local virtual time; it only moves forward, via
+    :meth:`SimKernel.advance` or by being woken at a later time (e.g. when
+    a message addressed to it arrives).
+    """
+
+    __slots__ = (
+        "kernel", "name", "fn", "args", "kwargs", "daemon", "now", "state",
+        "wait_reason", "result", "exc", "_go", "_os_thread", "_kill",
+        "locals", "_wake_event",
+    )
+
+    def __init__(self, kernel: "SimKernel", fn: Callable, args, kwargs,
+                 name: str, start_time: float, daemon: bool) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.daemon = daemon
+        self.now = float(start_time)
+        self.state = ThreadState.NEW
+        self.wait_reason: Optional[str] = None
+        self.result: Any = None
+        self.exc: Optional[BaseException] = None
+        self._go = threading.Semaphore(0)
+        self._kill = False
+        self._wake_event = None
+        self.locals: dict[str, Any] = {}   # scratch space for upper layers
+        self._os_thread = threading.Thread(
+            target=self._main, name=f"sim:{name}", daemon=True
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _main(self) -> None:
+        _current.thread = self
+        try:
+            self._wait_for_go()
+            self.result = self.fn(*self.args, **self.kwargs)
+            self.state = ThreadState.DONE
+        except SimKilled:
+            self.state = ThreadState.DONE
+        except BaseException as exc:  # noqa: BLE001 - reported to kernel.run
+            self.exc = exc
+            self.state = ThreadState.FAILED
+        finally:
+            self.kernel._yield_sem.release()
+
+    def _wait_for_go(self) -> None:
+        self._go.acquire()
+        if self._kill:
+            raise SimKilled()
+        self.state = ThreadState.RUNNING
+
+    def _yield_to_kernel(self) -> None:
+        """Hand control back to the scheduler and wait to be resumed."""
+        self.kernel._yield_sem.release()
+        self._wait_for_go()
+
+    def __repr__(self) -> str:
+        return f"<SimThread {self.name} t={self.now:.6f} {self.state.value}>"
+
+
+class SimKernel:
+    """Discrete-event scheduler for :class:`SimThread` objects."""
+
+    def __init__(self, trace: Callable[[str], None] | None = None) -> None:
+        self._events = EventQueue()
+        self._threads: list[SimThread] = []
+        self._yield_sem = threading.Semaphore(0)
+        self._running = False
+        self._finished = False
+        self.trace = trace
+        self.context_switches = 0
+        self.events_processed = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @staticmethod
+    def current() -> SimThread:
+        """The :class:`SimThread` the caller is running on."""
+        t = getattr(_current, "thread", None)
+        if t is None:
+            raise NotInSimThread("this operation must run inside a simulated thread")
+        return t
+
+    @staticmethod
+    def current_or_none() -> Optional[SimThread]:
+        return getattr(_current, "thread", None)
+
+    def now(self) -> float:
+        """Virtual time of the calling thread (0.0 from outside the sim)."""
+        t = self.current_or_none()
+        return t.now if t is not None else 0.0
+
+    @property
+    def threads(self) -> tuple[SimThread, ...]:
+        return tuple(self._threads)
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args, name: str | None = None,
+              start_time: float | None = None, daemon: bool = False,
+              **kwargs) -> SimThread:
+        """Create a simulated thread and schedule its first wake-up.
+
+        May be called before :meth:`run` or from inside a running simulated
+        thread (the child starts no earlier than the parent's ``now``).
+        """
+        if self._finished:
+            raise SimError("kernel already finished; create a new SimKernel")
+        parent = self.current_or_none()
+        base = parent.now if parent is not None else 0.0
+        t0 = base if start_time is None else max(base, float(start_time))
+        name = name or f"thread-{len(self._threads)}"
+        th = SimThread(self, fn, args, kwargs, name, t0, daemon)
+        self._threads.append(th)
+        th._os_thread.start()
+        self.schedule(th, t0)
+        return th
+
+    # -- scheduling primitives (thread- and kernel-side) ----------------------
+
+    def schedule(self, thread: SimThread, time: float) -> None:
+        """Enqueue a wake-up for ``thread`` at virtual ``time``.
+
+        If the thread already has a pending wake-up, the earlier one wins
+        (the later is cancelled).
+        """
+        if thread.state in (ThreadState.DONE, ThreadState.FAILED):
+            return
+        ev = thread._wake_event
+        if ev is not None and not ev.cancelled:
+            if ev.time <= time:
+                return
+            ev.cancel()
+        thread._wake_event = self._events.push(time, thread)
+        if thread.state == ThreadState.BLOCKED:
+            thread.state = ThreadState.READY
+
+    def advance(self, dt: float) -> None:
+        """Consume ``dt`` seconds of virtual time on the calling thread."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative time {dt!r}")
+        th = self.current()
+        if dt == 0.0:
+            return
+        self.schedule(th, th.now + dt)
+        th.state = ThreadState.READY
+        th._yield_to_kernel()
+
+    def sleep_until(self, time: float) -> None:
+        """Block the calling thread until virtual ``time`` (no-op if past)."""
+        th = self.current()
+        if time > th.now:
+            self.advance(time - th.now)
+
+    def block(self, reason: str = "") -> None:
+        """Suspend the calling thread until :meth:`wake` is called on it.
+
+        Used by channels, futures and synchronization primitives; user code
+        should prefer those higher-level operations.
+        """
+        th = self.current()
+        th.state = ThreadState.BLOCKED
+        th.wait_reason = reason
+        th._yield_to_kernel()
+        th.wait_reason = None
+
+    def wake(self, thread: SimThread, time: float | None = None) -> None:
+        """Schedule ``thread`` to resume, no earlier than ``time``.
+
+        The thread's clock jumps to ``max(thread.now, time)`` when it runs —
+        e.g. a receiver woken by a message in flight resumes at the message's
+        arrival time.
+        """
+        waker = self.current_or_none()
+        t = time if time is not None else (waker.now if waker else thread.now)
+        self.schedule(thread, max(t, 0.0))
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the simulation; returns the final virtual time reached.
+
+        Raises :class:`SimThreadFailed` if any simulated thread raised, and
+        :class:`DeadlockError` if non-daemon threads remain blocked with no
+        pending events.  Daemon threads (e.g. server request loops) are
+        killed cleanly once all non-daemon threads have finished.
+        """
+        if self._running:
+            raise SimError("kernel.run() is not reentrant")
+        self._running = True
+        last_time = 0.0
+        try:
+            while True:
+                self._check_failures()
+                if all(
+                    t.state in (ThreadState.DONE, ThreadState.FAILED)
+                    for t in self._threads if not t.daemon
+                ):
+                    break
+                if not self._events:
+                    blocked = [
+                        t for t in self._threads
+                        if not t.daemon and t.state not in (ThreadState.DONE, ThreadState.FAILED)
+                    ]
+                    if blocked:
+                        raise DeadlockError(blocked)
+                    break
+                nxt = self._events.peek_time()
+                if until is not None and nxt is not None and nxt > until:
+                    last_time = until
+                    break
+                ev = self._events.pop()
+                th = ev.thread
+                if th.state in (ThreadState.DONE, ThreadState.FAILED):
+                    continue
+                th._wake_event = None
+                last_time = max(last_time, ev.time)
+                th.now = max(th.now, ev.time)
+                self.events_processed += 1
+                self.context_switches += 1
+                if self.trace is not None:
+                    self.trace(f"[{th.now:.6f}] resume {th.name}")
+                th._go.release()
+                self._yield_sem.acquire()
+            self._check_failures()
+            return last_time
+        finally:
+            self._running = False
+            if until is None:
+                self._teardown()
+
+    def _check_failures(self) -> None:
+        for t in self._threads:
+            if t.state == ThreadState.FAILED:
+                exc = t.exc
+                t.state = ThreadState.DONE
+                self._teardown()
+                raise SimThreadFailed(t.name, exc) from exc
+
+    def _teardown(self) -> None:
+        """Kill every still-live simulated thread and join its OS thread."""
+        self._finished = True
+        for t in self._threads:
+            if t.state not in (ThreadState.DONE, ThreadState.FAILED):
+                t._kill = True
+                t._go.release()
+        for t in self._threads:
+            t._os_thread.join(timeout=5.0)

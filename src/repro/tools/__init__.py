@@ -1,0 +1,7 @@
+"""Operator tooling: packet tracing, timelines, summaries."""
+
+from .metrics import ComputeMeter, attach_meter
+from .trace import PacketTrace, TraceRecord, attach_tracer
+
+__all__ = ["ComputeMeter", "PacketTrace", "TraceRecord", "attach_meter",
+           "attach_tracer"]

@@ -1,0 +1,121 @@
+"""Packet tracing for simulated PARDIS deployments.
+
+Attach a :class:`PacketTrace` to a world's transport to record every
+message (send time, arrival, endpoints, tag class, bytes), then query per
+link/tag summaries or render a text timeline — the observability layer a
+1997 paper collected with printf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..netsim import Packet, Transport
+from ..runtime.tags import (
+    PARDIS_TAG_BASE,
+    TAG_ARG_FRAGMENT,
+    TAG_COLLECTIVE_BASE,
+    TAG_REPLY_HEADER,
+    TAG_REQUEST_HEADER,
+    TAG_RESULT_FRAGMENT,
+)
+
+_TAG_CLASSES = {
+    TAG_REQUEST_HEADER: "request",
+    TAG_REPLY_HEADER: "reply",
+    TAG_ARG_FRAGMENT: "arg-fragment",
+    TAG_RESULT_FRAGMENT: "result-fragment",
+}
+
+
+def tag_class(tag: int) -> str:
+    """Human-readable class of a message tag."""
+    named = _TAG_CLASSES.get(tag)
+    if named:
+        return named
+    if tag >= TAG_COLLECTIVE_BASE:
+        return "collective"
+    if tag >= PARDIS_TAG_BASE:
+        return "pardis-internal"
+    return "user"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    send_time: float
+    arrival: float
+    src: str
+    dst: str
+    tag: int
+    kind: str
+    nbytes: int
+
+    @property
+    def latency(self) -> float:
+        return self.arrival - self.send_time
+
+
+@dataclass
+class PacketTrace:
+    """Recorder of every packet a transport moves."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def __call__(self, pkt: Packet) -> None:
+        self.records.append(TraceRecord(
+            send_time=pkt.send_time, arrival=pkt.arrival,
+            src=str(pkt.src), dst=str(pkt.dst),
+            tag=pkt.tag, kind=tag_class(pkt.tag), nbytes=pkt.nbytes,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- queries --------------------------------------------------------------
+
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + r.nbytes
+        return out
+
+    def bytes_between_hosts(self) -> dict[tuple[str, str], int]:
+        out: dict[tuple[str, str], int] = {}
+        for r in self.records:
+            key = (r.src.split(":")[0], r.dst.split(":")[0])
+            out[key] = out.get(key, 0) + r.nbytes
+        return out
+
+    def summary(self) -> str:
+        lines = [f"{len(self.records)} packets, "
+                 f"{sum(r.nbytes for r in self.records)} bytes"]
+        for kind, nbytes in sorted(self.bytes_by_kind().items()):
+            count = len(self.by_kind(kind))
+            lines.append(f"  {kind:>16}: {count:6d} packets {nbytes:10d} bytes")
+        return "\n".join(lines)
+
+    def timeline(self, limit: int = 40, kinds: Optional[set] = None) -> str:
+        """Text timeline of the first ``limit`` matching packets."""
+        lines = []
+        for r in self.records:
+            if kinds is not None and r.kind not in kinds:
+                continue
+            lines.append(
+                f"{r.send_time * 1e3:10.3f}ms -> {r.arrival * 1e3:10.3f}ms "
+                f"{r.kind:>16} {r.src} -> {r.dst} ({r.nbytes} B)"
+            )
+            if len(lines) >= limit:
+                lines.append("...")
+                break
+        return "\n".join(lines)
+
+
+def attach_tracer(transport: Transport) -> PacketTrace:
+    """Install a :class:`PacketTrace` on a transport; returns it."""
+    trace = PacketTrace()
+    transport.on_send = trace
+    return trace

@@ -1,0 +1,188 @@
+"""Correctness tests for the DNA matchers and database servants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.dnadb import (
+    ALPHABET,
+    CATEGORIES,
+    MATCHERS,
+    classify,
+    generate_database,
+    matches_addition,
+    matches_deletion,
+    matches_exact,
+    matches_substitution,
+    matches_transposition,
+)
+
+dna = st.text(alphabet=ALPHABET, min_size=0, max_size=30)
+query = st.text(alphabet=ALPHABET, min_size=2, max_size=6)
+
+
+class TestMatchers:
+    def test_exact(self):
+        assert matches_exact("AACGTA", "ACGT")
+        assert not matches_exact("AAAA", "ACGT")
+
+    def test_transposition(self):
+        # window "ACTG" with adjacent swap at 2,3 gives "ACGT"
+        assert matches_transposition("TTACTGTT", "ACGT")
+        assert not matches_transposition("ACGT", "ACGT")  # exact, not derived
+        assert not matches_transposition("TTTT", "ACGT")
+
+    def test_deletion(self):
+        # "AGT" is "ACGT" minus the C
+        assert matches_deletion("TTAGTTT", "ACGT")
+        assert not matches_deletion("TTTTTT", "ACGT")
+
+    def test_substitution(self):
+        # "AGGT" differs from "ACGT" in one place
+        assert matches_substitution("TTAGGTTT", "ACGT")
+        assert not matches_substitution("TTTTTAAA", "ACGT")
+
+    def test_addition(self):
+        # "ACCGT" is "ACGT" with a C inserted
+        assert matches_addition("TTACCGTTT", "ACGT")
+        assert not matches_addition("ACGT", "ACGT")
+
+    def test_short_query_edge_cases(self):
+        assert not matches_transposition("ACGT", "A")
+        assert not matches_deletion("ACGT", "A")
+
+
+@settings(max_examples=300, deadline=None)
+@given(seq=dna, s=query)
+def test_property_matchers_agree_with_brute_force(seq, s):
+    """Each matcher individually agrees with the generate-all-variants
+    oracle (modulo the priority order, checked via classify)."""
+    oracle = {
+        "exact": s in seq,
+        "transposition": any(
+            v in seq for v in (
+                s[:j] + s[j + 1] + s[j] + s[j + 2:] for j in range(len(s) - 1)
+            ) if v != s
+        ),
+        "deletion": any(
+            (s[:j] + s[j + 1:]) in seq for j in range(len(s))
+            if s[:j] + s[j + 1:]
+        ),
+        "substitution": any(
+            (s[:j] + c + s[j + 1:]) in seq
+            for j in range(len(s)) for c in ALPHABET if c != s[j]
+        ),
+        "addition": any(
+            (s[:j] + c + s[j:]) in seq
+            for j in range(len(s) + 1) for c in ALPHABET
+        ),
+    }
+    assert matches_exact(seq, s) == oracle["exact"]
+    assert matches_transposition(seq, s) == oracle["transposition"]
+    assert matches_deletion(seq, s) == oracle["deletion"]
+    assert matches_substitution(seq, s) == oracle["substitution"]
+    assert matches_addition(seq, s) == oracle["addition"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(seq=dna, s=query)
+def test_property_classify_priority_order(seq, s):
+    cat = classify(seq, s)
+    if cat is None:
+        assert not any(m(seq, s) for m in MATCHERS.values())
+    else:
+        idx = CATEGORIES.index(cat)
+        assert MATCHERS[cat](seq, s)
+        for earlier in CATEGORIES[:idx]:
+            assert not MATCHERS[earlier](seq, s)
+
+
+class TestDatabase:
+    def test_reproducible(self):
+        a = generate_database(50, "ACGTAC", seed=3)
+        b = generate_database(50, "ACGTAC", seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_database(50, "ACGTAC", seed=3) != \
+            generate_database(50, "ACGTAC", seed=4)
+
+    def test_alphabet_and_length(self):
+        db = generate_database(30, "ACGTAC", seq_len=40)
+        assert all(len(s) >= 40 for s in db)
+        assert all(set(s) <= set(ALPHABET) for s in db)
+
+    def test_plants_matches_of_every_category(self):
+        db = generate_database(400, "ACGTAC", seed=7)
+        found = {classify(seq, "ACGTAC") for seq in db}
+        assert found >= set(CATEGORIES)
+
+
+class TestServerEndToEnd:
+    def test_search_returns_done_and_lists_fill(self):
+        from repro.core import Simulation
+        from repro.netsim import ATM_155, Host, Network
+        from repro.apps.dnadb import dna_server_main, list_server_name
+        from repro.apps.interfaces import dna_stubs
+
+        net = Network()
+        net.add_host(Host("C", nodes=1))
+        net.add_host(Host("S", nodes=4))
+        net.connect("C", "S", ATM_155)
+        sim = Simulation(network=net)
+        sim.server(dna_server_main, host="S", nprocs=3,
+                   args=(60, "ACGTAC", "distributed"))
+        out = {}
+
+        def client(ctx):
+            mod = dna_stubs()
+            db = mod.dna_db._bind("dna_database")
+            out["status"] = db.search("ACGTAC")
+            lists = {}
+            for cat in CATEGORIES:
+                srv = mod.list_server._bind(list_server_name(cat))
+                lists[cat] = srv.match("ACG")
+            out["lists"] = lists
+
+        sim.client(client, host="C", nprocs=1)
+        sim.run()
+        mod = dna_stubs()
+        assert out["status"] == mod.status.SEARCH_DONE
+        total = sum(len(v) for v in out["lists"].values())
+        assert total > 0
+
+    def test_search_results_match_oracle(self):
+        """The distributed parallel search finds exactly the sequences the
+        sequential classifier finds."""
+        from repro.core import Simulation
+        from repro.netsim import ATM_155, Host, Network
+        from repro.apps.dnadb import dna_server_main, list_server_name
+        from repro.apps.interfaces import dna_stubs
+
+        q = "ACGTAC"
+        db = generate_database(80, q, seed=7)
+        expected = {cat: sorted(s for s in db if classify(s, q) == cat)
+                    for cat in CATEGORIES}
+
+        net = Network()
+        net.add_host(Host("C", nodes=1))
+        net.add_host(Host("S", nodes=4))
+        net.connect("C", "S", ATM_155)
+        sim = Simulation(network=net)
+        sim.server(dna_server_main, host="S", nprocs=4,
+                   args=(80, q, "centralized"))
+        out = {}
+
+        def client(ctx):
+            mod = dna_stubs()
+            dbp = mod.dna_db._bind("dna_database")
+            dbp.search(q)
+            for cat in CATEGORIES:
+                srv = mod.list_server._bind(list_server_name(cat))
+                # match("") returns the whole collected list
+                out[cat] = sorted(srv.match(q))
+
+        sim.client(client, host="C", nprocs=1)
+        sim.run()
+        for cat in CATEGORIES:
+            assert out[cat] == [s for s in expected[cat] if q in s] or \
+                sorted(set(out[cat])) == expected[cat]

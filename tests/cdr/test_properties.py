@@ -1,0 +1,106 @@
+"""Property-based round-trip tests for the CDR layer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cdr import (
+    EnumTC,
+    SequenceTC,
+    StringTC,
+    StructTC,
+    TC_BOOLEAN,
+    TC_DOUBLE,
+    TC_LONG,
+    TC_OCTET,
+    TC_SHORT,
+    TC_ULONG,
+    decode,
+    encode,
+)
+
+INT_TCS = {
+    "octet": (TC_OCTET, st.integers(0, 255)),
+    "short": (TC_SHORT, st.integers(-2**15, 2**15 - 1)),
+    "long": (TC_LONG, st.integers(-2**31, 2**31 - 1)),
+    "ulong": (TC_ULONG, st.integers(0, 2**32 - 1)),
+}
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@given(st.sampled_from(sorted(INT_TCS)), st.data())
+def test_integer_roundtrip(kind, data):
+    tc, strat = INT_TCS[kind]
+    value = data.draw(strat)
+    assert decode(tc, encode(tc, value)) == value
+
+
+@given(finite_doubles)
+def test_double_roundtrip(value):
+    assert decode(TC_DOUBLE, encode(TC_DOUBLE, value)) == value
+
+
+@given(st.text(max_size=200))
+def test_string_roundtrip(s):
+    assert decode(StringTC(), encode(StringTC(), s)) == s
+
+
+@given(st.lists(finite_doubles, max_size=50))
+def test_double_sequence_roundtrip(values):
+    tc = SequenceTC(TC_DOUBLE)
+    out = decode(tc, encode(tc, values))
+    np.testing.assert_array_equal(out, np.asarray(values, dtype=float))
+
+
+@given(st.lists(st.lists(finite_doubles, max_size=10), max_size=10))
+def test_nested_sequence_roundtrip(rows):
+    tc = SequenceTC(SequenceTC(TC_DOUBLE))
+    out = decode(tc, encode(tc, rows))
+    assert len(out) == len(rows)
+    for got, want in zip(out, rows):
+        np.testing.assert_array_equal(got, np.asarray(want, dtype=float))
+
+
+@given(st.lists(st.text(max_size=30), max_size=20))
+def test_string_sequence_roundtrip(values):
+    tc = SequenceTC(StringTC())
+    assert decode(tc, encode(tc, values)) == values
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.booleans(), max_size=20),
+    st.integers(-2**31, 2**31 - 1),
+    st.text(max_size=20),
+)
+def test_struct_roundtrip(flags, n, label):
+    tc = StructTC("mix", (
+        ("flags", SequenceTC(TC_BOOLEAN)),
+        ("n", TC_LONG),
+        ("label", StringTC()),
+    ))
+    value = {"flags": flags, "n": n, "label": label}
+    out = decode(tc, encode(tc, value))
+    assert list(out["flags"]) == [int(f) for f in flags]
+    assert out["n"] == n
+    assert out["label"] == label
+
+
+@given(st.integers(0, 4))
+def test_enum_roundtrip(idx):
+    tc = EnumTC("e", ("A", "B", "C", "D", "E"))
+    assert decode(tc, encode(tc, idx)) == idx
+
+
+@given(st.lists(finite_doubles, min_size=1, max_size=100))
+def test_encoding_is_deterministic(values):
+    tc = SequenceTC(TC_DOUBLE)
+    assert encode(tc, values) == encode(tc, values)
+
+
+@given(st.lists(st.integers(-2**31, 2**31 - 1), max_size=30))
+def test_numpy_and_list_inputs_encode_identically(values):
+    tc = SequenceTC(TC_LONG)
+    as_list = encode(tc, values)
+    as_arr = encode(tc, np.asarray(values, dtype=np.int32))
+    assert as_list == as_arr

@@ -1,0 +1,151 @@
+"""Extension features: time-shared hosts (CPU contention) and custom
+(user-registered) package mappings — both from the paper's §6 agenda."""
+
+import numpy as np
+import pytest
+
+from repro.core import OrbConfig, Simulation
+from repro.core.distribution import Distribution
+from repro.core.dsequence import DistributedSequence
+from repro.core.stubapi import register_adapter
+from repro.idl import compile_idl
+from repro.netsim import ATM_155, Host, Network
+from repro.runtime import MPIRuntime, World
+
+
+class TestTimeSharedHosts:
+    def make_world(self, timeshared):
+        net = Network()
+        net.add_host(Host("h", nodes=2, node_flops=1e6,
+                          timeshared=timeshared))
+        return World(net)
+
+    def run_two_programs_on_one_node(self, timeshared):
+        """Two single-thread programs pinned to node 0, each computing
+        1 second."""
+        world = self.make_world(timeshared)
+        ends = {}
+
+        def main(rts, label):
+            rts.compute(1.0)
+            ends[label] = rts.now()
+
+        world.launch(main, host="h", nprocs=1, node_offset=0, args=("a",))
+        world.launch(main, host="h", nprocs=1, node_offset=0, args=("b",))
+        world.run()
+        return ends
+
+    def test_without_timesharing_programs_overlap(self):
+        ends = self.run_two_programs_on_one_node(False)
+        assert ends["a"] == pytest.approx(1.0)
+        assert ends["b"] == pytest.approx(1.0)
+
+    def test_with_timesharing_programs_serialize(self):
+        ends = self.run_two_programs_on_one_node(True)
+        assert sorted(ends.values()) == [pytest.approx(1.0),
+                                         pytest.approx(2.0)]
+
+    def test_distinct_nodes_never_contend(self):
+        world = self.make_world(True)
+        ends = {}
+
+        def main(rts, label):
+            rts.compute(1.0)
+            ends[label] = rts.now()
+
+        world.launch(main, host="h", nprocs=1, node_offset=0, args=("a",))
+        world.launch(main, host="h", nprocs=1, node_offset=1, args=("b",))
+        world.run()
+        assert ends == {"a": pytest.approx(1.0), "b": pytest.approx(1.0)}
+
+    def test_own_sequential_computes_unaffected(self):
+        world = self.make_world(True)
+
+        def main(rts):
+            rts.compute(0.5)
+            rts.compute(0.5)
+            return rts.now()
+
+        prog = world.launch(main, host="h", nprocs=1)
+        world.run()
+        assert prog.results == [pytest.approx(1.0)]
+
+
+class CustomBuffer:
+    """A pretend third-party container: data plus a checksum cache."""
+
+    def __init__(self, dseq):
+        self._dseq = dseq
+        self.checksum = float(np.sum(dseq.owned_data))
+
+    @property
+    def data(self):
+        return self._dseq.owned_data
+
+
+class CustomBufferAdapter:
+    def handles(self, value):
+        return isinstance(value, CustomBuffer)
+
+    def unwrap(self, value, element_tc):
+        return value._dseq
+
+    def wrap(self, dseq):
+        return CustomBuffer(dseq)
+
+
+register_adapter("MYLIB", "buffer", CustomBufferAdapter())
+
+MYLIB_IDL = """
+    #pragma MYLIB:buffer
+    typedef dsequence<double, 4096> buf;
+    interface crunch {
+        double total(in buf b);
+    };
+"""
+
+
+class TestCustomPackageMapping:
+    def test_custom_mapping_end_to_end(self):
+        """A user-registered package mapping works exactly like the
+        built-in POOMA/HPC++ ones (paper §6: streamlining mappings for
+        many diverse systems)."""
+        mod = compile_idl(MYLIB_IDL, package="MYLIB",
+                          module_name="mylib_stubs")
+        sim = Simulation()
+        seen = {}
+
+        def server_main(ctx):
+            from repro.runtime import collectives as coll
+
+            class Impl(mod.crunch_skel):
+                def total(self, b):
+                    seen["type"] = type(b).__name__
+                    return coll.allreduce(ctx.rts, b.checksum,
+                                          lambda x, y: x + y)
+
+            ctx.poa.activate(Impl(), "crunch", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=2)
+        out = {}
+
+        def client(ctx):
+            dseq = ctx.dseq(np.arange(10.0))
+            b = CustomBuffer(dseq)
+            c = mod.crunch._spmd_bind("crunch")
+            out[ctx.rank] = c.total(b)
+
+        sim.client(client, host="HOST_1", nprocs=2)
+        sim.run()
+        assert out == {0: 45.0, 1: 45.0}
+        assert seen["type"] == "CustomBuffer"
+
+    def test_unregistered_custom_package_fails_at_import(self):
+        from repro.core.errors import BindingError
+
+        with pytest.raises(BindingError, match="no container adapter"):
+            compile_idl("""
+                #pragma NOSUCH:thing
+                typedef dsequence<double> t;
+            """, package="NOSUCH", module_name="nosuch_stubs")

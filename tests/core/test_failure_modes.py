@@ -1,0 +1,147 @@
+"""Failure injection: how the ORB fails, and that it fails loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core import OrbConfig, Simulation
+from repro.idl import compile_idl
+from repro.simkernel import DeadlockError, SimThreadFailed
+
+IDL = """
+    typedef dsequence<double, 64> vec;
+    interface svc {
+        double total(in vec v);
+        long plain(in long x);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="failure_stubs")
+
+
+def server_main_factory(mod, ctx_holder=None):
+    def server_main(ctx):
+        from repro.runtime import collectives as coll
+
+        class Impl(mod.svc_skel):
+            def total(self, v):
+                local = float(np.sum(v.owned_data))
+                return coll.allreduce(ctx.rts, local, lambda a, b: a + b)
+
+            def plain(self, x):
+                return x
+
+        ctx.poa.activate(Impl(), "svc", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    return server_main
+
+
+def test_partial_collective_invocation_deadlocks_with_diagnostics(mod):
+    """With collective checks disabled, a thread that skips a collective
+    invocation produces a deadlock whose report names the stuck threads."""
+    sim = Simulation(config=OrbConfig(collective_checks=False))
+    sim.server(server_main_factory(mod), host="HOST_2", nprocs=2)
+
+    def client(ctx):
+        srv = mod.svc._spmd_bind("svc")
+        v = ctx.dseq(np.ones(8))
+        if ctx.rank == 0:
+            srv.total(v)  # rank 1 never joins in
+
+    sim.client(client, host="HOST_1", nprocs=2)
+    with pytest.raises(DeadlockError):
+        sim.run()
+
+
+def test_collective_checks_catch_it_instead(mod):
+    """With checks on (the default), the same bug raises a clean
+    CollectiveMismatch on every thread instead of deadlocking."""
+    from repro.core import CollectiveMismatch
+
+    sim = Simulation()
+    sim.server(server_main_factory(mod), host="HOST_2", nprocs=2)
+    outcomes = {}
+
+    def client(ctx):
+        srv = mod.svc._spmd_bind("svc")
+        v = ctx.dseq(np.ones(8))
+        try:
+            if ctx.rank == 0:
+                srv.total(v)
+            else:
+                srv.plain(3)
+        except CollectiveMismatch:
+            outcomes[ctx.rank] = "caught"
+
+    sim.client(client, host="HOST_1", nprocs=2)
+    sim.run()
+    assert outcomes == {0: "caught", 1: "caught"}
+
+
+def test_client_exception_fails_simulation_with_thread_name(mod):
+    sim = Simulation()
+
+    def client(ctx):
+        raise RuntimeError("client bug")
+
+    sim.client(client, host="HOST_1", name="buggy-client")
+    with pytest.raises(SimThreadFailed, match="buggy-client"):
+        sim.run()
+
+
+def test_server_setup_exception_propagates(mod):
+    sim = Simulation()
+
+    def bad_server(ctx):
+        raise ValueError("config error before activate")
+
+    sim.server(bad_server, host="HOST_2", name="bad-server")
+    sim.client(lambda ctx: ctx.compute(0.01), host="HOST_1")
+    with pytest.raises(SimThreadFailed, match="bad-server"):
+        sim.run()
+
+
+def test_duplicate_object_name_fails_activation(mod):
+    sim = Simulation()
+    s = server_main_factory(mod)
+    sim.server(s, host="HOST_2", nprocs=1, node_offset=0)
+    sim.server(s, host="HOST_2", nprocs=1, node_offset=1)
+    sim.client(lambda ctx: ctx.compute(0.01), host="HOST_1")
+    with pytest.raises(SimThreadFailed, match="already registered"):
+        sim.run()
+
+
+def test_reply_to_dead_client_is_harmless(mod):
+    """A oneway-style fire-and-exit client: the server's reply lands in a
+    mailbox nobody reads; the simulation still completes."""
+    sim = Simulation(config=OrbConfig(max_outstanding=4))
+    sim.server(server_main_factory(mod), host="HOST_2", nprocs=1)
+
+    def client(ctx):
+        srv = mod.svc._bind("svc")
+        srv.plain_nb(1)  # never resolved
+
+    sim.client(client, host="HOST_1")
+    sim.run()  # no deadlock, no error
+
+
+def test_mixed_thread_counts_client_server(mod):
+    """8 client threads against a 3-thread server and vice versa."""
+    for cnp, snp in [(8, 3), (3, 8)]:
+        sim = Simulation()
+        sim.server(server_main_factory(mod), host="HOST_2", nprocs=snp)
+        out = {}
+
+        def client(ctx):
+            srv = mod.svc._spmd_bind("svc")
+            v = ctx.dseq(np.arange(40.0))
+            out[ctx.rank] = srv.total(v)
+
+        sim.client(client, host="HOST_2", nprocs=cnp,
+                   node_offset=0 if snp <= 2 else 0)
+        # client shares HOST_2's nodes; ensure capacity
+        sim.run()
+        assert all(v == sum(range(40)) for v in out.values())

@@ -1,0 +1,92 @@
+"""Unit tests for the Future abstraction (paper §3.3)."""
+
+import pytest
+
+from repro.core import Future
+from repro.core.errors import FutureError
+
+
+class TestUnbound:
+    def test_fresh_future_unresolved(self):
+        f = Future()
+        assert not f.resolved()
+
+    def test_reading_unbound_future_raises(self):
+        with pytest.raises(FutureError, match="block forever"):
+            Future().value()
+
+    def test_repr_states(self):
+        f = Future(label="X1")
+        assert "pending" in repr(f)
+        assert "X1" in repr(f)
+        f._resolve(1)
+        assert "resolved" in repr(f)
+        g = Future()
+        g._fail(RuntimeError("no"))
+        assert "failed" in repr(g)
+
+
+class TestResolution:
+    def test_resolve_then_value(self):
+        f = Future()
+        f._resolve(42)
+        assert f.resolved()
+        assert f.value() == 42
+
+    def test_value_idempotent(self):
+        f = Future()
+        f._resolve([1, 2])
+        assert f.value() is f.value()
+
+    def test_resolve_none_counts_as_resolved(self):
+        f = Future()
+        f._resolve(None)
+        assert f.resolved()
+        assert f.value() is None
+
+    def test_fail_then_value_raises(self):
+        f = Future()
+        f._fail(ValueError("bad"))
+        assert f.resolved()
+        with pytest.raises(ValueError, match="bad"):
+            f.value()
+
+    def test_wait_returns_self(self):
+        f = Future()
+        f._resolve(7)
+        assert f.wait() is f
+
+
+class TestBinding:
+    def test_progress_called_on_poll(self):
+        calls = []
+        f = Future()
+        f._bind(lambda block: calls.append(block))
+        f.resolved()
+        assert calls == [False]
+
+    def test_progress_called_blocking_on_value(self):
+        f = Future()
+
+        def progress(block):
+            if block:
+                f._resolve("done")
+
+        f._bind(progress)
+        assert f.value() == "done"
+
+    def test_double_bind_rejected(self):
+        f = Future()
+        f._bind(lambda block: None)
+        with pytest.raises(FutureError, match="already bound"):
+            f._bind(lambda block: None)
+
+    def test_bind_after_resolve_rejected(self):
+        f = Future()
+        f._resolve(1)
+        with pytest.raises(FutureError):
+            f._bind(lambda block: None)
+
+    def test_distribution_attribute_carried(self):
+        f = Future(distribution="CYCLIC")
+        assert f.distribution == "CYCLIC"

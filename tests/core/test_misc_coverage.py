@@ -1,0 +1,100 @@
+"""Small-surface coverage: kernel tracing, one-sided registry helpers,
+placeholder arity, proxy introspection."""
+
+import pytest
+
+from repro.core import BindingError, Future, Simulation
+from repro.idl import compile_idl
+from repro.runtime import TulipRuntime
+from repro.simkernel import SimKernel
+
+from ..runtime.conftest import make_world
+
+IDL = "interface tiny { long two_outs(out long a, out long b); };"
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="misc_cov_stubs")
+
+
+class TestKernelTrace:
+    def test_trace_callback_sees_resumes(self):
+        lines = []
+        k = SimKernel(trace=lines.append)
+        k.spawn(lambda: k.advance(1.0), name="traced")
+        k.run()
+        assert any("traced" in ln for ln in lines)
+        assert any("[1.0" in ln or "[0.0" in ln for ln in lines)
+
+
+class TestOneSidedRegistry:
+    def test_registered_and_unregister(self):
+        def main(rts):
+            rts.register("k", [1, 2])
+            assert rts.registered("k") == [1, 2]
+            rts.unregister("k")
+            with pytest.raises(KeyError):
+                rts.registered("k")
+            rts.unregister("k")  # idempotent
+
+        world = make_world()
+        world.launch(main, host="hostA", nprocs=1, rts_factory=TulipRuntime)
+        world.run()
+
+
+class TestPlaceholderArity:
+    def test_too_many_placeholders_rejected(self, mod):
+        sim = Simulation()
+
+        def server_main(ctx):
+            class Impl(mod.tiny_skel):
+                def two_outs(self):
+                    return (0, 1, 2)
+
+            ctx.poa.activate(Impl(), "tiny", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+        out = {}
+
+        def client(ctx):
+            t = mod.tiny._bind("tiny")
+            with pytest.raises(BindingError, match="placeholders"):
+                t.two_outs_nb(Future(), Future(), Future())
+            # correct arity works, and both placeholders resolve
+            a, b = Future(), Future()
+            ret = t.two_outs_nb(a, b).value()
+            out["vals"] = (ret, a.value(), b.value())
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["vals"] == ((0, 1, 2), 1, 2)
+
+
+class TestProxyIntrospection:
+    def test_object_name_and_repr(self, mod):
+        sim = Simulation()
+
+        def server_main(ctx):
+            class Impl(mod.tiny_skel):
+                def two_outs(self):
+                    return (0, 0, 0)
+
+            ctx.poa.activate(Impl(), "tiny", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+        out = {}
+
+        def client(ctx):
+            t = mod.tiny._bind("tiny")
+            out["name"] = t._object_name
+            out["repr"] = repr(t)
+            out["local"] = t._is_local
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["name"] == "tiny"
+        assert "tiny" in out["repr"]
+        assert out["local"] is False

@@ -1,0 +1,89 @@
+"""Non-persistent servers: activation, exit, and re-activation (§2.2)."""
+
+import pytest
+
+from repro.core import Simulation
+from repro.idl import compile_idl
+
+IDL = "interface counter { long next(); };"
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="nonpersistent_stubs")
+
+
+def test_nonpersistent_server_reactivated_after_exit(mod):
+    """A server that deactivates and exits after a few requests is
+    re-activated by the agent when a later client binds."""
+    launches = []
+
+    def server_main(ctx):
+        generation = len(launches)
+        launches.append(ctx.now())
+
+        class Impl(mod.counter_skel):
+            def __init__(self):
+                self.served = 0
+
+            def next(self):
+                self.served += 1
+                return generation * 100 + self.served
+
+        servant = Impl()
+        ctx.poa.activate(servant, "counter", kind="spmd")
+        # Serve exactly two requests, then retire (non-persistent).
+        while servant.served < 2:
+            ctx.poa.process_requests()
+            ctx.compute(1e-3)
+        ctx.poa.deactivate("counter")
+
+    sim = Simulation()
+    sim.register_implementation("counter", server_main,
+                                host="HOST_2", nprocs=1)
+    results = {}
+
+    def early_client(ctx):
+        c = mod.counter._bind("counter")
+        results["first"] = (c.next(), c.next())
+
+    def late_client(ctx):
+        ctx.compute(1.0)  # bind well after the first server retired
+        c = mod.counter._bind("counter")
+        results["second"] = c.next()
+
+    sim.client(early_client, host="HOST_1")
+    sim.client(late_client, host="HOST_1", node_offset=1)
+    sim.run()
+
+    assert results["first"] == (1, 2)
+    assert results["second"] == 101  # a fresh server generation
+    assert len(launches) == 2
+
+
+def test_live_server_not_relaunched(mod):
+    launches = []
+
+    def server_main(ctx):
+        launches.append(1)
+
+        class Impl(mod.counter_skel):
+            def next(self):
+                return 7
+
+        ctx.poa.activate(Impl(), "counter", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim = Simulation()
+    sim.register_implementation("counter", server_main,
+                                host="HOST_2", nprocs=1)
+
+    def client(ctx, delay):
+        ctx.compute(delay)
+        c = mod.counter._bind("counter")
+        assert c.next() == 7
+
+    sim.client(client, host="HOST_1", args=(0.0,))
+    sim.client(client, host="HOST_1", node_offset=1, args=(0.5,))
+    sim.run()
+    assert len(launches) == 1

@@ -1,0 +1,145 @@
+"""Object references as argument/result values: factory patterns, nil
+references, typed narrowing, and the DII fallback."""
+
+import pytest
+
+from repro.core import Simulation, dynamic_bind
+from repro.core.repository import ObjectRef
+from repro.idl import compile_idl
+
+IDL = """
+    interface worker {
+        long work(in long x);
+    };
+    interface registry {
+        worker get_worker(in long which);
+        Object get_any(in long which);
+        void put_worker(in worker w);
+        long use(in worker w, in long x);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="objref_stubs")
+
+
+def build_sim(mod, received):
+    sim = Simulation()
+
+    def server_main(ctx):
+        class WorkerImpl(mod.worker_skel):
+            def __init__(self, factor):
+                self.factor = factor
+
+            def work(self, x):
+                return x * self.factor
+
+        w2 = ctx.poa.activate(WorkerImpl(2), "worker-x2", kind="single")
+        w3 = ctx.poa.activate(WorkerImpl(3), "worker-x3", kind="single")
+
+        class RegistryImpl(mod.registry_skel):
+            def get_worker(self, which):
+                return [w2, w3][which]      # returning raw ObjectRefs
+
+            def get_any(self, which):
+                return None if which < 0 else [w2, w3][which]
+
+            def put_worker(self, w):
+                received.append(w)
+
+            def use(self, w, x):
+                # the server itself invokes through the received reference
+                return w.work(x)
+
+        ctx.poa.activate(RegistryImpl(), "registry", kind="single")
+        ctx.poa.impl_is_ready()
+
+    sim.server(server_main, host="HOST_2", nprocs=1)
+    return sim
+
+
+class TestObjectReferences:
+    def test_factory_returns_typed_proxy(self, mod):
+        received = []
+        sim = build_sim(mod, received)
+        out = {}
+
+        def client(ctx):
+            reg = mod.registry._bind("registry")
+            w = reg.get_worker(0)
+            out["type"] = type(w).__name__
+            out["value"] = w.work(21)       # invoke through the result!
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["type"] == "worker"      # the generated proxy class
+        assert out["value"] == 42
+
+    def test_nil_reference(self, mod):
+        sim = build_sim(mod, [])
+        out = {}
+
+        def client(ctx):
+            reg = mod.registry._bind("registry")
+            out["nil"] = reg.get_any(-1)
+            out["real"] = reg.get_any(1).work(10)
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["nil"] is None
+        assert out["real"] == 30
+
+    def test_passing_proxy_as_argument(self, mod):
+        """The client hands the server a reference; the server invokes
+        through it (the callback pattern)."""
+        received = []
+        sim = build_sim(mod, received)
+        out = {}
+
+        def client(ctx):
+            reg = mod.registry._bind("registry")
+            w3 = reg.get_worker(1)
+            out["via_server"] = reg.use(w3, 5)   # server calls w3.work(5)
+            reg.put_worker(w3)
+            # give the server a beat to process put_worker, then have it
+            # use its kept proxy via another call
+            out["kept"] = reg.use(reg.get_worker(1), 4)
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["via_server"] == 15
+        assert out["kept"] == 12
+        assert len(received) == 1
+        assert type(received[0]).__name__ == "worker"  # live proxy kept
+
+    def test_reference_through_dii(self, mod):
+        sim = build_sim(mod, [])
+        out = {}
+
+        def client(ctx):
+            reg = dynamic_bind("registry")
+            w = reg.invoke("get_worker", 0)
+            out["value"] = w.work(8)
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["value"] == 16
+
+    def test_reference_survives_marshaling_fidelity(self, mod):
+        """What the servant receives is equivalent to what was sent."""
+        received = []
+        sim = build_sim(mod, received)
+
+        def client(ctx):
+            reg = mod.registry._bind("registry")
+            w = reg.get_worker(1)
+            reg.put_worker(w)
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        ref = received[0]._binding.ref
+        assert ref.name == "worker-x3"
+        assert ref.repo_id == "IDL:worker:1.0"
+        assert ref.kind == "single"

@@ -1,0 +1,191 @@
+"""Finer-grained ORB behaviours: inout parameters, attributes over the
+wire, binding type checks, DSeqFactory bounds, UserException mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import BindingError, Simulation, UserException
+from repro.idl import compile_idl
+
+IDL = """
+    typedef dsequence<double, 16> shortvec;
+    exception limit_hit { long limit; };
+    interface stateful {
+        readonly attribute long generation;
+        attribute double gain;
+        void amplify(inout double level);
+        void stretch(inout shortvec v);
+        long bump(in long by) raises (limit_hit);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="orb_details_stubs")
+
+
+def make_servant(mod, ctx):
+    from repro.core import DistributedSequence
+
+    class StatefulImpl(mod.stateful_skel):
+        def __init__(self):
+            self.generation = 4
+            self.gain = 2.0
+            self.count = 0
+
+        def amplify(self, level):
+            return level * self.gain
+
+        def stretch(self, v):
+            return DistributedSequence(
+                v.element, v.dist, v.rank, np.asarray(v.owned_data) * 3.0)
+
+        def bump(self, by):
+            if self.count + by > 5:
+                raise mod.limit_hit(limit=5)
+            self.count += by
+            return self.count
+
+    return StatefulImpl()
+
+
+def run_client(mod, client_main, nprocs_server=1, nprocs_client=1):
+    sim = Simulation()
+
+    def server_main(ctx):
+        ctx.poa.activate(make_servant(mod, ctx), "stateful", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(server_main, host="HOST_2", nprocs=nprocs_server)
+    out = {}
+
+    def wrapped(ctx):
+        out[ctx.rank] = client_main(ctx)
+
+    sim.client(wrapped, host="HOST_1", nprocs=nprocs_client)
+    sim.run()
+    return out
+
+
+class TestInout:
+    def test_scalar_inout_roundtrip(self, mod):
+        def main(ctx):
+            s = mod.stateful._bind("stateful")
+            return s.amplify(3.0)
+
+        assert run_client(mod, main)[0] == 6.0
+
+    def test_distributed_inout(self, mod):
+        def main(ctx):
+            s = mod.stateful._spmd_bind("stateful")
+            v = mod.shortvec(np.arange(8.0))
+            w = s.stretch(v)
+            np.testing.assert_array_equal(
+                np.asarray(w.owned_data),
+                3.0 * np.asarray(v.owned_data))
+            return True
+
+        assert run_client(mod, main, nprocs_server=2, nprocs_client=2) == \
+            {0: True, 1: True}
+
+
+class TestAttributesOverTheWire:
+    def test_readonly_get(self, mod):
+        def main(ctx):
+            s = mod.stateful._bind("stateful")
+            return s._get_generation()
+
+        assert run_client(mod, main)[0] == 4
+
+    def test_get_set_cycle(self, mod):
+        def main(ctx):
+            s = mod.stateful._bind("stateful")
+            before = s._get_gain()
+            s._set_gain(5.5)
+            return (before, s._get_gain())
+
+        assert run_client(mod, main)[0] == (2.0, 5.5)
+
+    def test_readonly_has_no_setter(self, mod):
+        assert not hasattr(mod.stateful, "_set_generation")
+
+
+class TestUserExceptionMechanics:
+    def test_fields_by_position_and_keyword(self, mod):
+        e1 = mod.limit_hit(5)
+        e2 = mod.limit_hit(limit=5)
+        assert e1.limit == e2.limit == 5
+
+    def test_too_many_positional(self, mod):
+        with pytest.raises(TypeError, match="positional"):
+            mod.limit_hit(1, 2)
+
+    def test_is_pardis_user_exception(self, mod):
+        assert issubclass(mod.limit_hit, UserException)
+
+    def test_raise_after_state_change_rolls_nothing_back(self, mod):
+        """Exceptions propagate; already-applied server state stays (no
+        transactional semantics — like CORBA)."""
+
+        def main(ctx):
+            s = mod.stateful._bind("stateful")
+            s.bump(4)
+            with pytest.raises(mod.limit_hit) as ei:
+                s.bump(4)
+            assert ei.value.limit == 5
+            return s.bump(1)
+
+        assert run_client(mod, main)[0] == 5
+
+
+class TestBindingChecks:
+    def test_wrong_interface_rejected(self, mod):
+        other = compile_idl("interface different { void f(); };",
+                            module_name="orb_details_other")
+
+        def main(ctx):
+            with pytest.raises(BindingError, match="implements"):
+                other.different._bind("stateful")
+            return True
+
+        assert run_client(mod, main)[0] is True
+
+    def test_host_hint_mismatch_rejected(self, mod):
+        def main(ctx):
+            with pytest.raises(BindingError, match="HOST_1"):
+                mod.stateful._bind("stateful", "HOST_1")  # lives on HOST_2
+            return True
+
+        assert run_client(mod, main)[0] is True
+
+    def test_unknown_operation_through_invoke(self, mod):
+        def main(ctx):
+            s = mod.stateful._bind("stateful")
+            with pytest.raises(BindingError, match="no operation"):
+                s._invoke("quux", ())
+            return True
+
+        assert run_client(mod, main)[0] is True
+
+
+class TestDSeqFactoryBounds:
+    def test_bound_enforced(self, mod):
+        def main(ctx):
+            with pytest.raises(ValueError, match="bound"):
+                mod.shortvec(np.zeros(17))
+            return True
+
+        sim = Simulation()
+        out = {}
+
+        def wrapped(ctx):
+            out["ok"] = main(ctx)
+
+        sim.client(wrapped, host="HOST_1", nprocs=1)
+        sim.run()
+        assert out["ok"]
+
+    def test_requires_context(self, mod):
+        with pytest.raises(BindingError, match="context"):
+            mod.shortvec(4)

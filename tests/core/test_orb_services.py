@@ -1,0 +1,336 @@
+"""Repositories, activation agents, namespaces, local bypass, flow
+control and communication-thread offload."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationError,
+    BindingError,
+    ObjectNotFound,
+    OrbConfig,
+    Simulation,
+)
+from repro.core.repository import ObjectRef, ObjectRepository
+from repro.idl import compile_idl
+
+PING_IDL = """
+    interface ping {
+        long echo(in long x);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(PING_IDL, module_name="ping_stubs_svc")
+
+
+def make_servant(mod, log=None):
+    class PingImpl(mod.ping_skel):
+        def echo(self, x):
+            if log is not None:
+                log.append(x)
+            return x
+
+    return PingImpl()
+
+
+def server_main_factory(mod, name="pinger", log=None):
+    def server_main(ctx):
+        ctx.poa.activate(make_servant(mod, log), name, kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    return server_main
+
+
+class TestObjectRepository:
+    def _ref(self, name="o"):
+        return ObjectRef(name=name, repo_id="IDL:x:1.0", kind="single",
+                         program_id=0, host="h", nthreads=1, owner_rank=0,
+                         endpoints=())
+
+    def test_register_lookup(self):
+        repo = ObjectRepository("ns")
+        repo.register(self._ref("a"))
+        assert repo.lookup("a").name == "a"
+        assert repo.contains("a")
+        assert repo.names() == ["a"]
+
+    def test_duplicate_rejected(self):
+        repo = ObjectRepository()
+        repo.register(self._ref("a"))
+        with pytest.raises(ValueError, match="already"):
+            repo.register(self._ref("a"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ObjectNotFound):
+            ObjectRepository().lookup("ghost")
+
+    def test_unregister(self):
+        repo = ObjectRepository()
+        repo.register(self._ref("a"))
+        repo.unregister("a")
+        assert not repo.contains("a")
+        repo.unregister("a")  # idempotent
+
+
+class TestActivation:
+    def test_on_demand_activation(self, mod):
+        """Binding to a non-running object launches its server via the
+        activation agent and the Implementation Repository."""
+        sim = Simulation()
+        sim.register_implementation(
+            "pinger", server_main_factory(mod), host="HOST_2", nprocs=2)
+        result = {}
+
+        def client_main(ctx):
+            p = mod.ping._bind("pinger")
+            result["echo"] = p.echo(7)
+            result["time"] = ctx.now()
+
+        sim.client(client_main, host="HOST_1")
+        sim.run()
+        assert result["echo"] == 7
+        assert result["time"] > 0
+
+    def test_activation_happens_once(self, mod):
+        sim = Simulation()
+        sim.register_implementation(
+            "pinger", server_main_factory(mod), host="HOST_2", nprocs=1)
+
+        def client_main(ctx):
+            a = mod.ping._bind("pinger")
+            b = mod.ping._bind("pinger")
+            return a.echo(1) + b.echo(2)
+
+        sim.client(client_main, host="HOST_1")
+        sim.client(client_main, host="HOST_1", node_offset=1)
+        sim.run()
+        servers = [p for p in sim.world.programs if "pinger" in p.name]
+        assert len(servers) == 1
+
+    def test_non_activating_mode(self, mod):
+        """Paper §2.2: the programmer can configure the system to work in
+        an activating and non-activating mode."""
+        sim = Simulation()
+        sim.register_implementation(
+            "pinger", server_main_factory(mod), host="HOST_2", nprocs=1)
+        sim.orb.set_activating("HOST_2", False)
+        result = {}
+
+        def client_main(ctx):
+            with pytest.raises(ActivationError):
+                mod.ping._bind("pinger")
+            result["ok"] = True
+
+        sim.client(client_main, host="HOST_1")
+        sim.run()
+        assert result["ok"]
+
+    def test_no_record_no_agent(self, mod):
+        sim = Simulation()
+
+        def client_main(ctx):
+            with pytest.raises(ObjectNotFound):
+                mod.ping._bind("never-registered")
+
+        sim.client(client_main, host="HOST_1")
+        sim.run()
+
+
+class TestNamespaces:
+    def test_namespace_isolation(self, mod):
+        """Configuring clients and servers with different repositories
+        splits the namespace (paper §2.2)."""
+        sim = Simulation()
+        sim.server(server_main_factory(mod), host="HOST_2", nprocs=1,
+                   namespace="blue")
+        result = {}
+
+        def red_client(ctx):
+            with pytest.raises(ObjectNotFound):
+                mod.ping._bind("pinger")
+            result["red"] = True
+
+        def blue_client(ctx):
+            result["blue"] = mod.ping._bind("pinger").echo(3)
+
+        sim.client(red_client, host="HOST_1", namespace="red")
+        sim.client(blue_client, host="HOST_1", namespace="blue",
+                   node_offset=1)
+        sim.run()
+        assert result == {"red": True, "blue": 3}
+
+    def test_same_name_in_two_namespaces(self, mod):
+        sim = Simulation()
+        log_a, log_b = [], []
+        sim.server(server_main_factory(mod, log=log_a), host="HOST_2",
+                   nprocs=1, namespace="a")
+        sim.server(server_main_factory(mod, log=log_b), host="HOST_2",
+                   nprocs=1, namespace="b", node_offset=1)
+
+        def client(ctx, ns_log_val):
+            mod.ping._bind("pinger").echo(ns_log_val)
+
+        sim.client(client, host="HOST_1", namespace="a", args=(1,))
+        sim.client(client, host="HOST_1", namespace="b", node_offset=1,
+                   args=(2,))
+        sim.run()
+        assert log_a == [1] and log_b == [2]
+
+
+class TestLocalBypass:
+    def test_local_invocation_bypasses_network(self, mod):
+        """§4.1: invocation on a local object becomes a direct call to the
+        object, bypassing the network transport."""
+        sim = Simulation()
+        result = {}
+
+        def main(ctx):
+            servant = make_servant(mod)
+            ctx.poa.activate(servant, "pinger", kind="spmd")
+            p = mod.ping._bind("pinger")
+            packets_before = sim.world.transport.packets_sent
+            t0 = ctx.now()
+            result["echo"] = p.echo(9)
+            result["dt"] = ctx.now() - t0
+            result["packets"] = sim.world.transport.packets_sent - packets_before
+            result["bypasses"] = sim.orb.local_bypasses
+
+        sim.client(main, host="HOST_1")
+        sim.run()
+        assert result["echo"] == 9
+        assert result["packets"] == 0
+        assert result["bypasses"] == 1
+        assert result["dt"] < 1e-4  # microseconds, not network time
+
+    def test_switching_host_changes_only_binding(self, mod):
+        """The Fig-2 development story: the same client code works whether
+        the object is local or remote."""
+        for remote in (False, True):
+            sim = Simulation()
+            if remote:
+                sim.server(server_main_factory(mod), host="HOST_2", nprocs=1)
+            result = {}
+
+            def main(ctx):
+                if not remote:
+                    ctx.poa.activate(make_servant(mod), "pinger", kind="spmd")
+                p = mod.ping._bind("pinger")
+                result["echo"] = p.echo(5)
+                result["local"] = p._is_local
+
+            sim.client(main, host="HOST_1")
+            sim.run()
+            assert result["echo"] == 5
+            assert result["local"] is (not remote)
+
+
+class TestFlowControl:
+    def test_max_outstanding_limits_pipeline(self, mod):
+        """With one outstanding request per binding (the default), a new
+        non-blocking invocation blocks until the previous reply — the
+        §4.3 congestion mechanism."""
+        import math
+
+        sim = Simulation(config=OrbConfig(max_outstanding=1))
+        mod_slow = mod
+
+        class SlowImpl(mod_slow.ping_skel):
+            def __init__(self, ctx):
+                self.ctx = ctx
+
+            def echo(self, x):
+                self.ctx.compute(1.0)
+                return x
+
+        def server_main(ctx):
+            ctx.poa.activate(SlowImpl(ctx), "slow", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+        result = {}
+
+        def client_main(ctx):
+            p = mod_slow.ping._bind("slow")
+            t0 = ctx.now()
+            f1 = p.echo_nb(1)
+            t1 = ctx.now() - t0
+            f2 = p.echo_nb(2)   # must wait for f1's reply
+            t2 = ctx.now() - t0
+            f2.value()
+            result.update(t1=t1, t2=t2)
+
+        sim.client(client_main, host="HOST_1")
+        sim.run()
+        assert result["t1"] < 0.1          # first nb call returns fast
+        assert result["t2"] > 0.9          # second waits a full service time
+
+    def test_larger_window_allows_pipelining(self, mod):
+        sim = Simulation(config=OrbConfig(max_outstanding=4))
+
+        class SlowImpl(mod.ping_skel):
+            def __init__(self, ctx):
+                self.ctx = ctx
+
+            def echo(self, x):
+                self.ctx.compute(1.0)
+                return x
+
+        def server_main(ctx):
+            ctx.poa.activate(SlowImpl(ctx), "slow", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+        result = {}
+
+        def client_main(ctx):
+            p = mod.ping._bind("slow")
+            t0 = ctx.now()
+            futs = [p.echo_nb(i) for i in range(3)]
+            result["issue_time"] = ctx.now() - t0
+            result["values"] = [f.value() for f in futs]
+
+        sim.client(client_main, host="HOST_1")
+        sim.run()
+        assert result["issue_time"] < 0.1
+        assert result["values"] == [0, 1, 2]
+
+
+class TestCommunicationThreads:
+    def test_offload_reduces_sender_time(self, mod):
+        """The §6 future-work experiment: delegating sends to a
+        communication thread frees the computing thread from paying
+        serialization time."""
+        IDL = """
+            typedef dsequence<double, 1000000> bigvec;
+            interface sink { void put(in bigvec v); };
+        """
+        big = compile_idl(IDL, module_name="sink_stubs_ct")
+
+        times = {}
+        for offload in (False, True):
+            sim = Simulation(config=OrbConfig(
+                communication_threads=offload, max_outstanding=8))
+
+            class SinkImpl(big.sink_skel):
+                def put(self, v):
+                    return None
+
+            def server_main(ctx):
+                ctx.poa.activate(SinkImpl(), "sink", kind="spmd")
+                ctx.poa.impl_is_ready()
+
+            sim.server(server_main, host="HOST_2", nprocs=1)
+
+            def client_main(ctx):
+                s = big.sink._bind("sink")
+                v = np.ones(200_000)  # 1.6 MB
+                t0 = ctx.now()
+                s.put_nb(v)
+                times[offload] = ctx.now() - t0
+
+            sim.client(client_main, host="HOST_1")
+            sim.run()
+        assert times[True] < times[False] / 2

@@ -1,0 +1,69 @@
+"""Unit + property tests for protocol messages and distribution
+descriptors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distribution import Distribution
+from repro.core.request import (
+    Fragment,
+    ReplyHeader,
+    RequestHeader,
+    build,
+    describe,
+)
+
+
+class TestDescriptors:
+    @pytest.mark.parametrize("dist", [
+        Distribution.block(10, 3),
+        Distribution.cyclic(11, 4),
+        Distribution.concentrated(8, 3, owner=2),
+        Distribution.template(20, [3, 1]),
+        Distribution.explicit([[(0, 4)], [(4, 9)]], 9),
+    ])
+    def test_roundtrip(self, dist):
+        rebuilt = build(describe(dist))
+        assert rebuilt.n == dist.n
+        assert rebuilt.p == dist.p
+        assert rebuilt.parts == dist.parts
+
+    def test_bad_descriptor(self):
+        with pytest.raises(ValueError):
+            build(("MAGIC", 4, 2))
+
+    def test_descriptors_are_compact(self):
+        d = describe(Distribution.block(10**6, 8))
+        assert d == ("BLOCK", 10**6, 8)
+
+
+@settings(max_examples=60)
+@given(
+    n=st.integers(0, 500),
+    p=st.integers(1, 8),
+    kind=st.sampled_from(["BLOCK", "CYCLIC"]),
+)
+def test_property_describe_build_identity(n, p, kind):
+    dist = Distribution.of_kind(kind, n, p)
+    assert build(describe(dist)).parts == dist.parts
+
+
+class TestMessageSizes:
+    def test_request_header_nbytes_grows_with_payload(self):
+        small = RequestHeader((1,), "o", "f", "spmd", 0, 1, (), b"")
+        big = RequestHeader((1,), "o", "f", "spmd", 0, 1, (), b"x" * 100)
+        assert big.nbytes() == small.nbytes() + 100
+
+    def test_fragment_nbytes_includes_intervals(self):
+        f1 = Fragment((1,), "v", 0, ((0, 5),), b"12345")
+        f2 = Fragment((1,), "v", 0, ((0, 2), (3, 6)), b"12345")
+        assert f2.nbytes() > f1.nbytes()
+
+    def test_reply_nbytes_accounts_for_exception(self):
+        ok = ReplyHeader((1,), "ok", b"")
+        exc = ReplyHeader((1,), "user_exception", b"",
+                          exception=("IDL:x:1.0", b"payload"))
+        assert exc.nbytes() > ok.nbytes()
+        sys_exc = ReplyHeader((1,), "system_exception", b"",
+                              exception="it broke")
+        assert sys_exc.nbytes() > ok.nbytes()

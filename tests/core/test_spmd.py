@@ -1,0 +1,306 @@
+"""SPMD objects, SPMD clients, and distributed-argument transfer — the
+paper's §2.1/§3.1/§3.2 machinery end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollectiveMismatch,
+    Distribution,
+    DistributedSequence,
+    Future,
+    OrbConfig,
+    Simulation,
+)
+from repro.idl import compile_idl
+
+VEC_IDL = """
+    typedef dsequence<double, 100000> vec;
+    typedef dsequence<double, 100000, BLOCK, CONCENTRATED> cvec;
+    interface vecops {
+        double total(in vec v);
+        void scale(in double k, in vec v, out vec w);
+        void iota(in long n, out vec w);
+        double total_concentrated(in cvec v);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(VEC_IDL, module_name="vec_stubs_spmd")
+
+
+def make_servant(mod):
+    class VecImpl(mod.vecops_skel):
+        def __init__(self, ctx):
+            self.ctx = ctx
+
+        def total(self, v):
+            # v is this thread's piece of the distributed argument;
+            # combine with an RTS collective like a real SPMD kernel.
+            from repro.runtime import collectives as coll
+
+            local = float(np.sum(v.owned_data))
+            return coll.allreduce(self.ctx.rts, local, lambda a, b: a + b)
+
+        def total_concentrated(self, v):
+            from repro.runtime import collectives as coll
+
+            local = float(np.sum(v.owned_data))
+            return coll.allreduce(self.ctx.rts, local, lambda a, b: a + b)
+
+        def scale(self, k, v):
+            out = DistributedSequence(v.element, v.dist, v.rank,
+                                      np.asarray(v.owned_data) * k)
+            return out
+
+        def iota(self, n):
+            d = Distribution.block(n, self.ctx.nprocs)
+            local = np.array(list(d.global_indices(self.ctx.rank)), dtype=float)
+            return DistributedSequence.adopt(local, d, self.ctx.rank)
+
+    return VecImpl
+
+
+def run_spmd_pair(mod, client_main, *, server_np=3, client_np=2,
+                  config=None, servant_factory=None):
+    sim = Simulation(config=config)
+    factory = servant_factory or make_servant(mod)
+
+    def server_main(ctx):
+        ctx.poa.activate(factory(ctx), "vecsrv", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(server_main, host="HOST_2", nprocs=server_np)
+    results = {}
+
+    def wrapped(ctx):
+        results[ctx.rank] = client_main(ctx)
+
+    sim.client(wrapped, host="HOST_1", nprocs=client_np)
+    sim.run()
+    return [results[r] for r in sorted(results)], sim
+
+
+class TestDistributedIn:
+    def test_block_to_block_transfer(self, mod):
+        n = 20
+
+        def main(ctx):
+            v = mod.vec(np.arange(n, dtype=float))  # BLOCK over client
+            srv = mod.vecops._spmd_bind("vecsrv")
+            return srv.total(v)
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == [sum(range(20))] * 2
+
+    def test_block_to_concentrated(self, mod):
+        """The §3.2 example: BLOCK on the client, CONCENTRATED on the
+        server."""
+        n = 10
+
+        def main(ctx):
+            v = mod.cvec(np.full(n, 2.0))
+            srv = mod.vecops._spmd_bind("vecsrv")
+            return srv.total_concentrated(v)
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == [20.0] * 2
+
+    def test_uneven_client_server_thread_counts(self, mod):
+        n = 37
+
+        def main(ctx):
+            v = mod.vec(np.arange(n, dtype=float))
+            srv = mod.vecops._spmd_bind("vecsrv")
+            return srv.total(v)
+
+        for snp, cnp in [(1, 4), (4, 1), (5, 3)]:
+            res, _ = run_spmd_pair(mod, main, server_np=snp, client_np=cnp)
+            assert res == [float(sum(range(n)))] * cnp
+
+    def test_server_side_in_dist_override(self, mod):
+        """Server sets the distribution of an 'in' argument prior to
+        registration (§3.2)."""
+        seen = {}
+
+        def factory(ctx):
+            base = make_servant(mod)
+
+            class Impl(base):
+                def total(self, v):
+                    seen[ctx.rank] = v.local_size
+                    return base.total(self, v)
+
+            return Impl(ctx)
+
+        sim = Simulation()
+
+        def server_main(ctx):
+            servant = factory(ctx)
+            ctx.poa.activate(servant, "vecsrv", kind="spmd",
+                             in_dists={("total", "v"): "CONCENTRATED"})
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=3)
+
+        def client_main(ctx):
+            v = mod.vec(np.ones(12))
+            srv = mod.vecops._spmd_bind("vecsrv")
+            assert srv.total(v) == 12.0
+
+        sim.client(client_main, host="HOST_1", nprocs=2)
+        sim.run()
+        assert seen == {0: 12, 1: 0, 2: 0}
+
+
+class TestDistributedOut:
+    def test_out_param_arrives_distributed(self, mod):
+        n = 16
+
+        def main(ctx):
+            v = mod.vec(np.arange(n, dtype=float))
+            srv = mod.vecops._spmd_bind("vecsrv")
+            w = srv.scale(3.0, v)
+            expected = [3.0 * i for i in w.dist.global_indices(ctx.rank)]
+            np.testing.assert_array_equal(w.owned_data, expected)
+            return w.dist.kind
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == ["BLOCK", "BLOCK"]
+
+    def test_client_requests_out_distribution(self, mod):
+        n = 12
+
+        def main(ctx):
+            srv = mod.vecops._spmd_bind("vecsrv")
+            w = srv.iota(n, _distributions={"w": "CYCLIC"})
+            expected = [float(i) for i in range(ctx.rank, n, ctx.nprocs)]
+            np.testing.assert_array_equal(w.owned_data, expected)
+            return w.dist.kind
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == ["CYCLIC", "CYCLIC"]
+
+    def test_out_distribution_via_future_placeholder(self, mod):
+        n = 8
+
+        def main(ctx):
+            srv = mod.vecops._spmd_bind("vecsrv")
+            w_fut = Future(distribution="CONCENTRATED")
+            srv.iota_nb(n, w_fut)
+            w = w_fut.value()
+            if ctx.rank == 0:
+                np.testing.assert_array_equal(
+                    w.owned_data, np.arange(n, dtype=float))
+            else:
+                assert w.local_size == 0
+            return True
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == [True, True]
+
+    def test_out_template_distribution(self, mod):
+        n = 40
+
+        def main(ctx):
+            srv = mod.vecops._spmd_bind("vecsrv")
+            w = srv.iota(n, _distributions={"w": [3, 1]})
+            return w.local_size
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == [30, 10]
+
+
+class TestSingleClientOfSpmdObject:
+    def test_bind_sends_whole_arguments(self, mod):
+        """The single-invocation stub variant: nondistributed arguments
+        from one thread (paper §3.1)."""
+        n = 9
+
+        def main(ctx):
+            srv = mod.vecops._spmd_bind("vecsrv") if False else \
+                mod.vecops._bind("vecsrv")
+            total = srv.total(np.arange(n, dtype=float))
+            return total
+
+        res, _ = run_spmd_pair(mod, main, client_np=1)
+        assert res == [float(sum(range(n)))]
+
+    def test_single_bind_gets_whole_out(self, mod):
+        def main(ctx):
+            srv = mod.vecops._bind("vecsrv")
+            w = srv.iota(6)
+            assert w.dist.p == 1
+            np.testing.assert_array_equal(w.owned_data,
+                                          np.arange(6, dtype=float))
+            return True
+
+        res, _ = run_spmd_pair(mod, main, client_np=1)
+        assert res == [True]
+
+    def test_each_thread_can_bind_individually(self, mod):
+        def main(ctx):
+            srv = mod.vecops._bind("vecsrv")
+            return srv.total(np.full(4, float(ctx.rank + 1)))
+
+        res, _ = run_spmd_pair(mod, main, client_np=2)
+        assert res == [4.0, 8.0]
+
+
+class TestCollectiveDiscipline:
+    def test_collective_mismatch_detected(self, mod):
+        def main(ctx):
+            srv = mod.vecops._spmd_bind("vecsrv")
+            v = mod.vec(np.ones(4))
+            with pytest.raises(CollectiveMismatch):
+                if ctx.rank == 0:
+                    srv.total(v)
+                else:
+                    srv.iota(4)
+            return True
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == [True, True]
+
+    def test_spmd_invocations_stay_matched(self, mod):
+        def main(ctx):
+            srv = mod.vecops._spmd_bind("vecsrv")
+            v = mod.vec(np.ones(6))
+            out = []
+            for _ in range(3):
+                out.append(srv.total(v))
+            return out
+
+        res, _ = run_spmd_pair(mod, main)
+        assert res == [[6.0] * 3] * 2
+
+
+class TestSpmdNonBlocking:
+    def test_concurrent_spmd_requests_to_two_servers(self, mod):
+        """The Fig-2 shape: a non-blocking request to one server overlaps
+        a blocking request to another."""
+        sim = Simulation()
+        factory = make_servant(mod)
+
+        def server_main(ctx):
+            ctx.poa.activate(factory(ctx), ctx.program.name, kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_1", nprocs=2, name="srvA",
+                   node_offset=2)
+        sim.server(server_main, host="HOST_2", nprocs=2, name="srvB")
+        done = {}
+
+        def client_main(ctx):
+            a = mod.vecops._spmd_bind("srvA")
+            b = mod.vecops._spmd_bind("srvB")
+            v = mod.vec(np.ones(10))
+            fut = b.total_nb(v)
+            direct = a.total(v)
+            done[ctx.rank] = (direct, fut.value())
+
+        sim.client(client_main, host="HOST_1", nprocs=2)
+        sim.run()
+        assert done == {0: (10.0, 10.0), 1: (10.0, 10.0)}

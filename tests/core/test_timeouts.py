@@ -1,0 +1,87 @@
+"""Request timeouts (OrbConfig.request_timeout)."""
+
+import pytest
+
+from repro.core import OrbConfig, Simulation, SystemException
+from repro.idl import compile_idl
+
+IDL = "interface slowpoke { long poke(in double delay); };"
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="timeout_stubs")
+
+
+def build(mod, timeout):
+    sim = Simulation(config=OrbConfig(request_timeout=timeout))
+
+    def server_main(ctx):
+        class Impl(mod.slowpoke_skel):
+            def poke(self, delay):
+                ctx.compute(delay)
+                return 1
+
+        ctx.poa.activate(Impl(), "slowpoke", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(server_main, host="HOST_2", nprocs=1)
+    return sim
+
+
+def test_slow_reply_times_out(mod):
+    sim = build(mod, timeout=0.5)
+    out = {}
+
+    def client(ctx):
+        s = mod.slowpoke._bind("slowpoke")
+        t0 = ctx.now()
+        with pytest.raises(SystemException, match="timed out"):
+            s.poke(10.0)
+        out["elapsed"] = ctx.now() - t0
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["elapsed"] == pytest.approx(0.5, rel=0.05)
+
+
+def test_fast_reply_does_not_time_out(mod):
+    sim = build(mod, timeout=5.0)
+    out = {}
+
+    def client(ctx):
+        s = mod.slowpoke._bind("slowpoke")
+        out["v"] = s.poke(0.01)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 1
+
+
+def test_timeout_through_future(mod):
+    sim = build(mod, timeout=0.25)
+    out = {}
+
+    def client(ctx):
+        s = mod.slowpoke._bind("slowpoke")
+        fut = s.poke_nb(10.0)
+        with pytest.raises(SystemException, match="timed out"):
+            fut.value()
+        out["resolved"] = fut.resolved()
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["resolved"] is True  # failed counts as resolved
+
+
+def test_no_timeout_by_default(mod):
+    sim = build(mod, timeout=None)
+    out = {}
+
+    def client(ctx):
+        s = mod.slowpoke._bind("slowpoke")
+        out["v"] = s.poke(2.0)  # slow but eventually served
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 1

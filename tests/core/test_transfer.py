@@ -1,0 +1,161 @@
+"""Tests for transfer schedules: the data-movement core of [KG97]."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distribution import Distribution
+from repro.core.transfer import (
+    TransferItem,
+    extract,
+    incoming,
+    insert,
+    local_items,
+    outgoing,
+    schedule,
+)
+
+
+def apply_schedule(src_dist, dst_dist, global_data):
+    """Run a schedule 'by hand' (no network) and return the dst local
+    arrays; used to verify that schedules move exactly the right data."""
+    src_locals = [
+        np.asarray([global_data[i] for i in src_dist.global_indices(r)], dtype=float)
+        for r in range(src_dist.p)
+    ]
+    dst_locals = [
+        np.zeros(dst_dist.local_size(r)) for r in range(dst_dist.p)
+    ]
+    for item in schedule(src_dist, dst_dist):
+        values = extract(src_dist, item.src_rank, src_locals[item.src_rank],
+                         item.intervals)
+        insert(dst_dist, item.dst_rank, dst_locals[item.dst_rank],
+               item.intervals, values)
+    return dst_locals
+
+
+def check_conversion(src_dist, dst_dist):
+    n = src_dist.n
+    data = np.arange(n, dtype=float) * 1.5
+    dst_locals = apply_schedule(src_dist, dst_dist, data)
+    for r in range(dst_dist.p):
+        expected = [data[i] for i in dst_dist.global_indices(r)]
+        np.testing.assert_array_equal(dst_locals[r], expected)
+
+
+class TestSchedules:
+    def test_identity_schedule_is_all_local(self):
+        d = Distribution.block(10, 3)
+        sched = schedule(d, d)
+        assert all(t.src_rank == t.dst_rank for t in sched)
+
+    def test_block_to_concentrated(self):
+        src = Distribution.block(10, 3)
+        dst = Distribution.concentrated(10, 2)
+        sched = schedule(src, dst)
+        assert all(t.dst_rank == 0 for t in sched)
+        assert sum(t.size for t in sched) == 10
+
+    def test_block_p_change(self):
+        check_conversion(Distribution.block(100, 3), Distribution.block(100, 5))
+
+    def test_block_to_cyclic(self):
+        check_conversion(Distribution.block(23, 4), Distribution.cyclic(23, 3))
+
+    def test_cyclic_to_block(self):
+        check_conversion(Distribution.cyclic(17, 3), Distribution.block(17, 4))
+
+    def test_template_to_block(self):
+        check_conversion(Distribution.template(50, [4, 1]),
+                         Distribution.block(50, 2))
+
+    def test_concentrated_to_block(self):
+        check_conversion(Distribution.concentrated(30, 1),
+                         Distribution.block(30, 4))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            schedule(Distribution.block(5, 2), Distribution.block(6, 2))
+
+    def test_total_transferred_equals_length(self):
+        src = Distribution.block(40, 4)
+        dst = Distribution.cyclic(40, 3)
+        assert sum(t.size for t in schedule(src, dst)) == 40
+
+    def test_outgoing_incoming_local_partition(self):
+        src = Distribution.block(20, 3)
+        dst = Distribution.block(20, 2)
+        sched = schedule(src, dst)
+        for r in range(3):
+            out = outgoing(sched, r)
+            assert all(t.src_rank == r and t.dst_rank != r for t in out)
+        for r in range(2):
+            inc = incoming(sched, r)
+            assert all(t.dst_rank == r and t.src_rank != r for t in inc)
+            loc = local_items(sched, r)
+            assert all(t.src_rank == r == t.dst_rank for t in loc)
+
+
+class TestExtractInsert:
+    def test_extract_contiguous(self):
+        d = Distribution.block(10, 2)  # rank 0: [0,5)
+        local = np.arange(5, dtype=float)
+        out = extract(d, 0, local, ((1, 4),))
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_extract_cyclic(self):
+        d = Distribution.cyclic(10, 2)  # rank 0 owns evens
+        local = np.array([0, 2, 4, 6, 8], dtype=float)
+        out = extract(d, 0, local, ((2, 3), (6, 7)))
+        np.testing.assert_array_equal(out, [2, 6])
+
+    def test_insert_contiguous(self):
+        d = Distribution.block(10, 2)
+        local = np.zeros(5)
+        insert(d, 1, local, ((6, 8),), np.array([60.0, 70.0]))
+        np.testing.assert_array_equal(local, [0, 60, 70, 0, 0])
+
+    def test_extract_list_storage(self):
+        d = Distribution.block(4, 2)
+        out = extract(d, 0, ["a", "b"], ((0, 2),))
+        assert out == ["a", "b"]
+
+    def test_insert_list_storage(self):
+        d = Distribution.block(4, 2)
+        local = [None, None]
+        insert(d, 1, local, ((2, 4),), ["x", "y"])
+        assert local == ["x", "y"]
+
+
+DIST_KINDS = ["BLOCK", "CYCLIC", "CONCENTRATED"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 80),
+    sp=st.integers(1, 5),
+    dp=st.integers(1, 5),
+    skind=st.sampled_from(DIST_KINDS),
+    dkind=st.sampled_from(DIST_KINDS),
+)
+def test_property_any_to_any_conversion_preserves_data(n, sp, dp, skind, dkind):
+    check_conversion(Distribution.of_kind(skind, n, sp),
+                     Distribution.of_kind(dkind, n, dp))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 60),
+    sp=st.integers(1, 4),
+    dp=st.integers(1, 4),
+)
+def test_property_schedule_covers_every_element_once(n, sp, dp):
+    src = Distribution.block(n, sp)
+    dst = Distribution.cyclic(n, dp)
+    seen = set()
+    for item in schedule(src, dst):
+        for a, b in item.intervals:
+            for i in range(a, b):
+                assert i not in seen
+                seen.add(i)
+    assert seen == set(range(n))

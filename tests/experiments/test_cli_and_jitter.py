@@ -1,0 +1,94 @@
+"""Experiments CLI and the measurement-jitter model."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.netsim import ATM_155, Host, Network
+from repro.experiments.fig5_pipeline import run_overall
+
+
+class TestJitterModel:
+    def test_zero_jitter_is_exactly_deterministic(self):
+        a = run_overall(1, steps=5, n=16)
+        b = run_overall(1, steps=5, n=16)
+        assert a == b
+
+    def test_jitter_changes_results_per_seed(self):
+        a = run_overall(1, steps=5, n=16, jitter=0.2, seed=1)
+        b = run_overall(1, steps=5, n=16, jitter=0.2, seed=2)
+        assert a != b
+
+    def test_same_seed_same_result(self):
+        a = run_overall(1, steps=5, n=16, jitter=0.2, seed=5)
+        b = run_overall(1, steps=5, n=16, jitter=0.2, seed=5)
+        assert a == b
+
+    def test_jitter_bounded(self):
+        base = run_overall(1, steps=5, n=16)
+        jit = run_overall(1, steps=5, n=16, jitter=0.1, seed=3)
+        assert abs(jit - base) / base < 0.25
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            Network(jitter=1.5)
+        with pytest.raises(ValueError):
+            Network(jitter=-0.1)
+
+    def test_network_perturb_identity_without_jitter(self):
+        net = Network()
+        assert net._perturb(3.0) == 3.0
+
+    def test_averaged_rows(self):
+        from repro.experiments import run_fig5
+
+        rows = run_fig5(procs=(1,), steps=5, n=16, repeats=3, jitter=0.2)
+        assert len(rows) == 1
+        assert rows[0].t_overall > 0
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments", *args],
+            capture_output=True, text=True, timeout=300,
+        )
+
+    def test_fig2_small(self):
+        r = self.run_cli("fig2", "--sizes", "100")
+        assert r.returncode == 0
+        assert "t_distributed" in r.stdout
+        assert "Figure 2" in r.stdout
+
+    def test_fig4_small(self):
+        r = self.run_cli("fig4", "--procs", "1", "2", "--nseqs", "40",
+                         "--rounds", "3")
+        assert r.returncode == 0
+        assert "t_centralized" in r.stdout
+
+    def test_fig5_small(self):
+        r = self.run_cli("fig5", "--procs", "1", "--steps", "5", "--n", "16")
+        assert r.returncode == 0
+        assert "t_overall" in r.stdout
+
+    def test_requires_subcommand(self):
+        r = self.run_cli()
+        assert r.returncode != 0
+
+
+class TestNetworkSensitivity:
+    def test_send_effect_shrinks_on_faster_links(self):
+        from repro.experiments.network_sensitivity import run_sensitivity
+
+        rows = {r.link: r for r in run_sensitivity(procs=2, steps=10, n=32)}
+        assert rows["ethernet-100"].send_effect < \
+            rows["ethernet-10"].send_effect
+        assert rows["atm-155"].t_baseline <= rows["ethernet-10"].t_baseline
+
+    def test_effects_are_nonnegative(self):
+        from repro.experiments.network_sensitivity import run_sensitivity
+
+        for r in run_sensitivity(procs=1, steps=10, n=32):
+            assert r.send_effect >= -1e-9
+            assert r.congestion_effect >= -1e-9

@@ -1,0 +1,63 @@
+"""Shape assertions for the Figure 2 reproduction (reduced scale)."""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.fig2_solvers import Fig2Row, run_fig2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fig2(sizes=(100, 200, 300))
+
+
+def test_solutions_agree(rows):
+    """The two methods solve the same system: the client's difference
+    metric is at the tolerance scale."""
+    for r in rows:
+        assert r.difference < 1e-4
+
+
+def test_distributed_beats_same_server(rows):
+    """The headline: substantial speedup from putting the slower
+    application on the faster remote resource."""
+    for r in rows:
+        assert r.t_distributed < r.t_same_server
+
+
+def test_distributed_is_max_plus_overhead(rows):
+    """t = to + max{ti, td} with small to (the paper's decomposition)."""
+    for r in rows:
+        lower = max(r.t_direct, r.t_iterative)
+        assert r.t_distributed >= lower
+        assert r.t_distributed < lower * 1.25 + 0.5
+
+
+def test_gap_grows_with_problem_size(rows):
+    gaps = [r.t_same_server - r.t_distributed for r in rows]
+    assert gaps[-1] > gaps[0]
+
+
+def test_times_increase_with_problem_size(rows):
+    for a, b in zip(rows, rows[1:]):
+        assert b.t_direct > a.t_direct
+        assert b.t_iterative > a.t_iterative
+        assert b.t_distributed > a.t_distributed
+
+
+def test_iterative_slower_than_direct_on_its_host(rows):
+    """The premise of the experiment: the iterative method is the slower
+    application (hence it goes to the faster host)."""
+    for r in rows:
+        assert r.t_iterative > r.t_direct * 0.8
+
+
+def test_format_table(rows):
+    text = format_table(rows, "fig2")
+    assert "t_distributed" in text
+    assert str(rows[0].n) in text
+
+
+def test_rows_are_structured(rows):
+    assert all(isinstance(r, Fig2Row) for r in rows)
+    assert [r.n for r in rows] == [100, 200, 300]

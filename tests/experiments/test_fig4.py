@@ -1,0 +1,57 @@
+"""Shape assertions for the Figure 4 reproduction (reduced scale)."""
+
+import pytest
+
+from repro.experiments.fig4_dna import (
+    Fig4Row,
+    run_fig4,
+    run_one,
+    total_match_work,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fig4(procs=(1, 2, 3, 4), n_seqs=80, rounds=8)
+
+
+def test_centralized_equals_distributed_on_one_processor(rows):
+    r1 = rows[0]
+    assert r1.procs == 1
+    assert r1.t_centralized == pytest.approx(r1.t_distributed, rel=1e-6)
+
+
+def test_distributed_wins_beyond_one_processor(rows):
+    for r in rows[1:]:
+        assert r.t_distributed < r.t_centralized
+
+
+def test_both_schemes_speed_up_with_processors(rows):
+    for a, b in zip(rows, rows[1:]):
+        assert b.t_centralized < a.t_centralized
+
+
+def test_difference_dips_at_three_processors(rows):
+    """"Redistribution going from 2 to 3 processors resulted in
+    diminished difference" — the by-count (not by-weight) balancing
+    artifact."""
+    by_p = {r.procs: r.difference for r in rows}
+    assert by_p[3] < by_p[2]
+    assert by_p[4] > by_p[3]
+
+
+def test_total_match_work_constant():
+    """Paper: total time spent in single-object queries is the same for
+    both schemes (30 s at paper scale)."""
+    assert total_match_work(20) == pytest.approx(30.0)
+
+
+def test_run_one_rejects_nothing_and_is_deterministic():
+    a = run_one(2, "distributed", n_seqs=40, rounds=3)
+    b = run_one(2, "distributed", n_seqs=40, rounds=3)
+    assert a == b
+
+
+def test_rows_structured(rows):
+    assert all(isinstance(r, Fig4Row) for r in rows)
+    assert [r.procs for r in rows] == [1, 2, 3, 4]

@@ -1,0 +1,69 @@
+"""Shape assertions for the Figure 5 reproduction (reduced scale)."""
+
+import pytest
+
+from repro.core import OrbConfig
+from repro.experiments.fig5_pipeline import (
+    Fig5Row,
+    run_diffusion_alone,
+    run_fig5,
+    run_gradient_alone,
+    run_overall,
+)
+
+SMALL = dict(steps=20, gradient_every=5, n=32)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fig5(procs=(1, 2, 4), **SMALL)
+
+
+def test_all_series_fall_with_processors(rows):
+    for a, b in zip(rows, rows[1:]):
+        assert b.t_overall < a.t_overall
+        assert b.t_diffusion < a.t_diffusion
+        assert b.t_gradient < a.t_gradient
+
+
+def test_overall_above_diffusion_component(rows):
+    """Distributing the application brings advantages, but the overall
+    time stays above the diffusion component (pipeline cost)."""
+    for r in rows:
+        assert r.t_overall > r.t_diffusion
+
+
+def test_scaling_flattens(rows):
+    """The paper's observation: the advantages do not scale well — the
+    overall speedup from 1 to 4 processors is clearly sub-linear."""
+    speedup = rows[0].t_overall / rows[-1].t_overall
+    procs_ratio = rows[-1].procs / rows[0].procs
+    assert speedup < procs_ratio * 0.85
+
+
+def test_diffusion_alone_scales_better_than_overall(rows):
+    s_diff = rows[0].t_diffusion / rows[-1].t_diffusion
+    s_all = rows[0].t_overall / rows[-1].t_overall
+    assert s_diff > s_all
+
+
+def test_gradient_component_has_transfer_floor():
+    """The gradient component includes the Ethernet field transfer, which
+    does not shrink with processors."""
+    t4 = run_gradient_alone(4, requests=4, n=32)
+    t8 = run_gradient_alone(8, requests=4, n=32)
+    assert t8 > t4 * 0.5  # far from linear scaling
+
+
+def test_congestion_relief_with_larger_window():
+    """With one outstanding request per binding the pipeline congests;
+    widening the window (or offloading sends) reduces the overall time —
+    the §6 discussion."""
+    tight = run_overall(2, config=OrbConfig(max_outstanding=1), **SMALL)
+    wide = run_overall(2, config=OrbConfig(
+        max_outstanding=4, communication_threads=True), **SMALL)
+    assert wide < tight
+
+
+def test_rows_structured(rows):
+    assert all(isinstance(r, Fig5Row) for r in rows)

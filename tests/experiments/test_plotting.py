@@ -1,0 +1,76 @@
+"""ASCII chart renderer tests."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, chart_rows
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([], {}) == "(no data)"
+
+    def test_contains_glyphs_and_legend(self):
+        out = ascii_chart([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "o up" in out
+        assert "x down" in out
+        assert "o" in out.splitlines()[0] or any(
+            "o" in ln for ln in out.splitlines())
+
+    def test_axis_labels(self):
+        out = ascii_chart([0, 10], {"s": [0, 100]}, x_label="procs",
+                          y_label="seconds")
+        assert "procs" in out
+        assert "seconds" in out
+        assert "100" in out
+        assert "10" in out
+
+    def test_title(self):
+        out = ascii_chart([1, 2], {"a": [1, 2]}, title="My Figure")
+        assert out.splitlines()[0] == "My Figure"
+
+    def test_constant_series_no_crash(self):
+        out = ascii_chart([1, 2, 3], {"flat": [5, 5, 5]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = ascii_chart([1], {"p": [2.0]})
+        assert "p" in out
+
+    def test_monotone_series_renders_monotone(self):
+        """The highest y value appears on an earlier line than the lowest."""
+        out = ascii_chart([1, 2, 3, 4], {"d": [40, 30, 20, 10]},
+                          width=20, height=10)
+        lines = [ln for ln in out.splitlines() if "|" in ln]
+        first = next(i for i, ln in enumerate(lines) if "o" in ln)
+        last = max(i for i, ln in enumerate(lines) if "o" in ln)
+        assert first < last
+
+
+class TestChartRows:
+    @dataclass
+    class Row:
+        n: int
+        t: float
+
+    def test_from_dataclass_rows(self):
+        rows = [self.Row(1, 10.0), self.Row(2, 5.0)]
+        out = chart_rows(rows, "n", ["t"], title="T")
+        assert "o t" in out
+        assert out.startswith("T")
+
+
+class TestCliPlot:
+    def test_plot_flag(self):
+        import subprocess
+        import sys
+
+        r = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "--plot", "fig4",
+             "--procs", "1", "2", "--nseqs", "30", "--rounds", "2"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert r.returncode == 0
+        assert "Figure 4 left" in r.stdout
+        assert "t_centralized" in r.stdout

@@ -1,0 +1,57 @@
+"""The reproduction scorecard validates all claims at reduced scale."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.validate import (
+    CLAIMS,
+    Claim,
+    format_report,
+    validate,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return validate(paper_scale=False)
+
+
+def test_all_claims_pass(results):
+    failed = [r.claim.id for r in results if not r.passed]
+    assert not failed, f"claims failed: {failed}"
+
+
+def test_every_evaluation_claim_is_covered(results):
+    ids = {r.claim.id for r in results}
+    # one or more claims per evaluation section + the §6 experiment
+    assert any(i.startswith("fig2") for i in ids)
+    assert any(i.startswith("fig4") for i in ids)
+    assert any(i.startswith("fig5") for i in ids)
+    assert "s6-communication-threads" in ids
+
+
+def test_report_format(results):
+    text = format_report(results)
+    assert "scorecard" in text
+    assert f"{len(CLAIMS)}/{len(CLAIMS)} claims reproduced" in text
+    assert "PASS" in text
+
+
+def test_crashing_claim_reports_failure():
+    bad = Claim("boom", "nowhere", "always crashes",
+                lambda d: 1 / 0)
+    out = validate(paper_scale=False, claims=[bad])
+    assert not out[0].passed
+    assert "error" in out[0].detail
+    assert "FAIL" in format_report(out)
+
+
+def test_cli_exit_codes():
+    r = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "validate"],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert r.returncode == 0
+    assert "11/11" in r.stdout or "claims reproduced" in r.stdout

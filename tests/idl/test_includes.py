@@ -1,0 +1,101 @@
+"""#include preprocessing tests."""
+
+import pytest
+
+from repro.idl import compile_idl
+from repro.idl.compiler import file_resolver, preprocess
+from repro.idl.lexer import IdlSyntaxError
+
+COMMON = """
+    typedef sequence<double> row;
+    const long N = 16;
+"""
+
+
+class TestPreprocess:
+    def test_simple_include(self):
+        out = preprocess('#include "common.idl"\ntypedef row r2;',
+                         {"common.idl": COMMON})
+        assert "typedef sequence<double> row;" in out
+        assert "typedef row r2;" in out
+
+    def test_no_directive_passthrough(self):
+        src = "typedef long t;"
+        assert preprocess(src) == src
+
+    def test_missing_resolver(self):
+        with pytest.raises(IdlSyntaxError, match="no include resolver"):
+            preprocess('#include "x.idl"')
+
+    def test_unresolvable_name(self):
+        with pytest.raises(IdlSyntaxError, match="cannot resolve"):
+            preprocess('#include "ghost.idl"', {})
+
+    def test_nested_includes(self):
+        files = {
+            "a.idl": '#include "b.idl"\ntypedef b_t a_t;',
+            "b.idl": "typedef long b_t;",
+        }
+        out = preprocess('#include "a.idl"', files)
+        assert out.index("typedef long b_t;") < out.index("typedef b_t a_t;")
+
+    def test_include_once(self):
+        files = {"c.idl": "typedef long c_t;"}
+        out = preprocess('#include "c.idl"\n#include "c.idl"\n', files)
+        assert out.count("typedef long c_t;") == 1
+
+    def test_diamond_include_ok(self):
+        files = {
+            "base.idl": "typedef long base_t;",
+            "left.idl": '#include "base.idl"\ntypedef base_t left_t;',
+            "right.idl": '#include "base.idl"\ntypedef base_t right_t;',
+        }
+        out = preprocess('#include "left.idl"\n#include "right.idl"', files)
+        assert out.count("typedef long base_t;") == 1
+
+    def test_cycle_rejected(self):
+        files = {
+            "x.idl": '#include "y.idl"',
+            "y.idl": '#include "x.idl"',
+        }
+        with pytest.raises(IdlSyntaxError, match="circular"):
+            preprocess('#include "x.idl"', files)
+
+
+class TestCompileWithIncludes:
+    def test_compiled_module_sees_included_types(self):
+        mod = compile_idl(
+            '#include "common.idl"\n'
+            "interface i { void f(in row r, in long n); };",
+            includes={"common.idl": COMMON},
+            module_name="include_test_stubs",
+        )
+        assert mod.N == 16
+        assert "f" in mod.i._interface.ops
+
+
+class TestFileResolver:
+    def test_searches_directories(self, tmp_path):
+        (tmp_path / "inc.idl").write_text("typedef long from_file;")
+        resolve = file_resolver([str(tmp_path)])
+        assert "from_file" in resolve("inc.idl")
+
+    def test_not_found(self, tmp_path):
+        resolve = file_resolver([str(tmp_path)])
+        with pytest.raises(IdlSyntaxError, match="not found"):
+            resolve("missing.idl")
+
+    def test_cli_include_flag(self, tmp_path):
+        import subprocess
+        import sys
+
+        (tmp_path / "types.idl").write_text("typedef double scalar;")
+        main_idl = tmp_path / "main.idl"
+        main_idl.write_text(
+            '#include "types.idl"\ninterface i { scalar f(); };')
+        r = subprocess.run(
+            [sys.executable, "-m", "repro.idl.compiler", str(main_idl)],
+            capture_output=True, text=True,
+        )
+        assert r.returncode == 0, r.stderr
+        assert "class i(" in r.stdout

@@ -1,0 +1,79 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.idl.lexer import (
+    IdlSyntaxError,
+    T_FLOAT,
+    T_IDENT,
+    T_INT,
+    T_KEYWORD,
+    T_PRAGMA,
+    T_PUNCT,
+    T_STRING,
+    tokenize,
+    unescape_string,
+)
+
+
+def kinds(src):
+    return [(t.type, t.value) for t in tokenize(src)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("interface foo")
+    assert toks == [(T_KEYWORD, "interface"), (T_IDENT, "foo")]
+
+
+def test_punctuation_including_scope_operator():
+    toks = kinds("a::b<<c>>{};")
+    values = [v for _, v in toks]
+    assert values == ["a", "::", "b", "<<", "c", ">>", "{", "}", ";"]
+
+
+def test_integer_literals_decimal_and_hex():
+    toks = kinds("42 0x2A")
+    assert toks == [(T_INT, "42"), (T_INT, "0x2A")]
+
+
+def test_float_literals():
+    toks = kinds("1.5 0.000001 2e10 .5")
+    assert all(t == T_FLOAT for t, _ in toks)
+
+
+def test_string_literal_with_escape():
+    toks = kinds(r'"he said \"hi\""')
+    assert toks[0][0] == T_STRING
+    assert unescape_string(toks[0][1]) == 'he said "hi"'
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment\nb") == [(T_IDENT, "a"), (T_IDENT, "b")]
+
+
+def test_block_comments_skipped_and_lines_tracked():
+    toks = tokenize("a /* multi\nline */ b")
+    assert [(t.type, t.value) for t in toks[:-1]] == [(T_IDENT, "a"), (T_IDENT, "b")]
+    assert toks[1].line == 2
+
+
+def test_pragma_token():
+    toks = tokenize("#pragma HPC++:vector\ntypedef long x;")
+    assert toks[0].type == T_PRAGMA
+    assert "HPC++" in toks[0].value
+
+
+def test_line_and_column_positions():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(IdlSyntaxError, match="line 2"):
+        tokenize("ok\n@")
+
+
+def test_eof_token_always_last():
+    assert tokenize("")[-1].type == "eof"
+    assert tokenize("x")[-1].type == "eof"

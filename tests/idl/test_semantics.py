@@ -1,0 +1,244 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.cdr import DSequenceTC, SequenceTC, StringTC, TC_DOUBLE, TC_LONG
+from repro.idl import compile_spec
+from repro.idl.semantics import IdlSemanticError
+
+
+def test_typedef_resolves_to_typecode():
+    spec = compile_spec("typedef sequence<double> v;")
+    assert spec.typedefs[0].tc == SequenceTC(TC_DOUBLE, None)
+
+
+def test_const_evaluation_with_arithmetic():
+    spec = compile_spec("const long N = 128; const long M = N * N - 1;")
+    assert [c.value for c in spec.consts] == [128, 128 * 128 - 1]
+
+
+def test_const_hex_and_shift():
+    spec = compile_spec("const long A = 0x10 << 2;")
+    assert spec.consts[0].value == 64
+
+
+def test_const_string():
+    spec = compile_spec('const string GREETING = "hello";')
+    assert spec.consts[0].value == "hello"
+
+
+def test_const_type_mismatch():
+    with pytest.raises(IdlSemanticError, match="integer"):
+        compile_spec('const long N = "nope";')
+
+
+def test_const_division_by_zero():
+    with pytest.raises(IdlSemanticError, match="zero"):
+        compile_spec("const long N = 1 / 0;")
+
+
+def test_bound_uses_const():
+    spec = compile_spec("const long N = 4; typedef dsequence<double, N*N> f;")
+    assert spec.typedefs[-1].tc.bound == 16
+
+
+def test_bound_must_be_positive_integer():
+    with pytest.raises(IdlSemanticError, match="positive"):
+        compile_spec("typedef sequence<double, 0> v;")
+    with pytest.raises(IdlSemanticError, match="positive"):
+        compile_spec("const double X = 1.5; typedef sequence<double, X> v;")
+
+
+def test_unknown_type():
+    with pytest.raises(IdlSemanticError, match="mystery"):
+        compile_spec("typedef mystery t;")
+
+
+def test_use_before_declaration_rejected():
+    with pytest.raises(IdlSemanticError, match="unknown name"):
+        compile_spec("typedef later t; typedef long later;")
+
+
+def test_duplicate_definition():
+    with pytest.raises(IdlSemanticError, match="duplicate"):
+        compile_spec("typedef long t; typedef double t;")
+
+
+def test_duplicate_enum_member():
+    with pytest.raises(IdlSemanticError, match="duplicate"):
+        compile_spec("enum e { A, A };")
+
+
+def test_enum_member_usable_as_const():
+    spec = compile_spec("enum e { A, B, C }; const long N = C;")
+    assert spec.consts[0].value == 2
+
+
+def test_nested_dsequence_rejected():
+    with pytest.raises(IdlSemanticError, match="nested"):
+        compile_spec("typedef dsequence<dsequence<double>> bad;")
+
+
+def test_nested_dsequence_via_typedef_rejected():
+    with pytest.raises(IdlSemanticError, match="nested"):
+        compile_spec("""
+            typedef dsequence<double> inner;
+            typedef dsequence<inner> bad;
+        """)
+
+
+def test_dsequence_of_sequence_allowed():
+    spec = compile_spec("typedef dsequence<sequence<double>> matrix;")
+    tc = spec.typedefs[0].tc
+    assert isinstance(tc, DSequenceTC)
+    assert isinstance(tc.element, SequenceTC)
+
+
+def test_module_scoping():
+    spec = compile_spec("""
+        module M {
+            typedef long t;
+            interface i { void f(in t x); };
+        };
+    """)
+    iface = spec.interfaces[0]
+    assert iface.qname == ("M", "i")
+    assert iface.ops[0].params[0].tc == TC_LONG
+
+
+def test_scoped_name_lookup_across_modules():
+    spec = compile_spec("""
+        module A { typedef string<8> name; };
+        interface i { void f(in A::name n); };
+    """)
+    assert spec.interfaces[0].ops[0].params[0].tc == StringTC(8)
+
+
+def test_interface_inheritance_collects_ops():
+    spec = compile_spec("""
+        interface base { void f(); };
+        interface derived : base { void g(); };
+    """)
+    derived = spec.interface("derived")
+    assert [op.name for op in derived.all_ops()] == ["f", "g"]
+
+
+def test_diamond_inheritance_dedupes():
+    spec = compile_spec("""
+        interface a { void f(); };
+        interface b : a { void g(); };
+        interface c : a { void h(); };
+        interface d : b, c { void i(); };
+    """)
+    names = [op.name for op in spec.interface("d").all_ops()]
+    assert sorted(names) == ["f", "g", "h", "i"]
+    assert len(names) == 4
+
+
+def test_operation_override_rejected():
+    with pytest.raises(IdlSemanticError, match="overloading"):
+        compile_spec("""
+            interface base { void f(); };
+            interface derived : base { void f(); };
+        """)
+
+
+def test_inherit_from_non_interface():
+    with pytest.raises(IdlSemanticError, match="non-interface"):
+        compile_spec("typedef long t; interface i : t { void f(); };")
+
+
+def test_duplicate_operation_rejected():
+    with pytest.raises(IdlSemanticError, match="overloading"):
+        compile_spec("interface i { void f(); void f(); };")
+
+
+def test_duplicate_param_rejected():
+    with pytest.raises(IdlSemanticError, match="duplicate"):
+        compile_spec("interface i { void f(in long x, in long x); };")
+
+
+def test_raises_must_be_exception():
+    with pytest.raises(IdlSemanticError, match="non-exception"):
+        compile_spec("""
+            struct s { long v; };
+            interface i { void f() raises (s); };
+        """)
+
+
+def test_exception_not_usable_as_type():
+    with pytest.raises(IdlSemanticError, match="data type"):
+        compile_spec("""
+            exception e { string why; };
+            interface i { void f(in e x); };
+        """)
+
+
+def test_interface_param_becomes_object_reference():
+    from repro.cdr import ObjectRefTC
+
+    spec = compile_spec("""
+        interface other { void g(); };
+        interface i { void f(in other x); };
+    """)
+    tc = spec.interface("i").ops[0].params[0].tc
+    assert tc == ObjectRefTC("IDL:other:1.0")
+
+
+def test_plain_object_type_is_wildcard_reference():
+    from repro.cdr import ObjectRefTC
+
+    spec = compile_spec("interface i { void f(in Object o); };")
+    assert spec.interface("i").ops[0].params[0].tc == ObjectRefTC(None)
+
+
+def test_oneway_constraints():
+    with pytest.raises(IdlSemanticError, match="oneway"):
+        compile_spec("interface i { oneway long f(); };")
+    with pytest.raises(IdlSemanticError, match="oneway"):
+        compile_spec("interface i { oneway void f(out long x); };")
+
+
+def test_pragma_on_non_dsequence_rejected():
+    with pytest.raises(IdlSemanticError, match="dsequence"):
+        compile_spec("#pragma POOMA:field\ntypedef sequence<double> v;")
+
+
+def test_pragma_recorded_on_typedef():
+    spec = compile_spec("""
+        #pragma POOMA:field
+        typedef dsequence<double, 16> f;
+    """)
+    assert spec.typedefs[0].pragmas[0].package == "POOMA"
+
+
+def test_operation_distributed_flag():
+    spec = compile_spec("""
+        typedef dsequence<double> v;
+        interface i {
+            void f(in v x);
+            void g(in long n);
+        };
+    """)
+    ops = {op.name: op for op in spec.interfaces[0].ops}
+    assert ops["f"].has_distributed_args is True
+    assert ops["g"].has_distributed_args is False
+
+
+def test_attribute_cannot_be_distributed():
+    with pytest.raises(IdlSemanticError, match="distributed"):
+        compile_spec("""
+            typedef dsequence<double> v;
+            interface i { attribute v data; };
+        """)
+
+
+def test_absolute_scoped_name():
+    spec = compile_spec("""
+        typedef long t;
+        module M {
+            typedef double t;
+            interface i { void f(in ::t x); };
+        };
+    """)
+    assert spec.interfaces[0].ops[0].params[0].tc == TC_LONG

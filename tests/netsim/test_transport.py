@@ -1,0 +1,204 @@
+"""Tests for the packet transport over the simulated network."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    ANY,
+    ATM_155,
+    Address,
+    Host,
+    LinkProfile,
+    Network,
+    Transport,
+    estimate_nbytes,
+)
+from repro.simkernel import SimKernel
+
+FAST = LinkProfile("fast-test", latency=1e-3, bandwidth=1e6, cpu_overhead=0.0)
+
+
+def make_world():
+    k = SimKernel()
+    net = Network()
+    net.add_host(Host("a", nodes=2))
+    net.add_host(Host("b", nodes=2))
+    net.connect("a", "b", FAST)
+    tp = Transport(k, net)
+    return k, net, tp
+
+
+def test_send_recv_roundtrip():
+    k, net, tp = make_world()
+    src = Address("a", 0)
+    dst = Address("b", 0)
+    got = {}
+
+    def sender():
+        ep = tp.open(src)
+        ep.send(dst, b"x" * 1000, tag=7)
+
+    def receiver():
+        ep = tp.open(dst)
+        pkt = ep.recv(tag=7)
+        got["body"] = pkt.body
+        got["time"] = k.now()
+
+    k.spawn(receiver)
+    k.spawn(sender)
+    k.run()
+    assert got["body"] == b"x" * 1000
+    # 1000 bytes at 1 MB/s = 1 ms serialization + 1 ms latency
+    assert got["time"] == pytest.approx(0.002)
+
+
+def test_sync_send_charges_serialization_to_sender():
+    k, net, tp = make_world()
+    times = {}
+
+    def sender():
+        ep = tp.open(Address("a", 0))
+        tp.open(Address("b", 0))
+        ep.send(Address("b", 0), b"x" * 500_000, tag=0)  # 0.5 s serialization
+        times["after_send"] = k.now()
+
+    k.spawn(sender)
+    k.run()
+    assert times["after_send"] == pytest.approx(0.5)
+
+
+def test_oneway_send_returns_after_overhead_only():
+    k = SimKernel()
+    net = Network()
+    net.add_host(Host("a", nodes=1))
+    net.add_host(Host("b", nodes=1))
+    profile = LinkProfile("ow", latency=1e-3, bandwidth=1e6, cpu_overhead=2e-4)
+    net.connect("a", "b", profile)
+    tp = Transport(k, net)
+    times = {}
+
+    def sender():
+        ep = tp.open(Address("a", 0))
+        tp.open(Address("b", 0))
+        ep.send(Address("b", 0), b"x" * 500_000, tag=0, oneway=True)
+        times["after_send"] = k.now()
+
+    def receiver():
+        pkt = tp.open(Address("b", 0)).recv()
+        times["arrival"] = k.now()
+
+    k.spawn(receiver)
+    k.spawn(sender)
+    k.run()
+    assert times["after_send"] == pytest.approx(2e-4)
+    assert times["arrival"] == pytest.approx(2e-4 + 0.5 + 1e-3)
+
+
+def test_tag_and_source_matching():
+    k, net, tp = make_world()
+    order = []
+
+    def sender(node, tag):
+        ep = tp.open(Address("a", node, port=1))
+        ep.send(Address("b", 0), f"from{node}", tag=tag)
+
+    def receiver():
+        ep = tp.open(Address("b", 0))
+        pkt = ep.recv(tag=9)
+        order.append(pkt.body)
+        pkt = ep.recv(src=Address("a", 0, port=1))
+        order.append(pkt.body)
+
+    k.spawn(receiver)
+    k.spawn(sender, 0, 5)
+    k.spawn(sender, 1, 9)
+    k.run()
+    assert order == ["from1", "from0"]
+
+
+def test_iprobe_and_poll():
+    k, net, tp = make_world()
+    results = []
+
+    def body():
+        ep = tp.open(Address("a", 0))
+        results.append(ep.iprobe())
+        results.append(ep.poll())
+        tp.open(Address("a", 1)).send(Address("a", 0), "ping", tag=3)
+        k.advance(1.0)
+        results.append(ep.iprobe(tag=3))
+        results.append(ep.poll(tag=3).body)
+
+    k.spawn(body)
+    k.run()
+    assert results == [False, None, True, "ping"]
+
+
+def test_unopened_destination_raises():
+    k, net, tp = make_world()
+
+    def sender():
+        ep = tp.open(Address("a", 0))
+        ep.send(Address("b", 1), "void")
+
+    k.spawn(sender)
+    with pytest.raises(Exception, match="no endpoint"):
+        k.run()
+
+
+def test_node_out_of_range_rejected():
+    k, net, tp = make_world()
+
+    def body():
+        tp.open(Address("a", 99))
+
+    k.spawn(body)
+    with pytest.raises(Exception, match="out of range"):
+        k.run()
+
+
+def test_open_is_idempotent():
+    k, net, tp = make_world()
+
+    def body():
+        e1 = tp.open(Address("a", 0))
+        e2 = tp.open(Address("a", 0))
+        assert e1 is e2
+
+    k.spawn(body)
+    k.run()
+
+
+def test_transport_counters():
+    k, net, tp = make_world()
+
+    def body():
+        ep = tp.open(Address("a", 0))
+        tp.open(Address("b", 0))
+        ep.send(Address("b", 0), b"12345", tag=0)
+        ep.send(Address("b", 0), b"123", tag=0)
+
+    k.spawn(body)
+    k.run()
+    assert tp.packets_sent == 2
+    assert tp.bytes_sent == 8
+
+
+class TestEstimateNbytes:
+    def test_bytes(self):
+        assert estimate_nbytes(b"abc") == 3
+
+    def test_numpy(self):
+        assert estimate_nbytes(np.zeros(10)) == 80
+
+    def test_scalars_and_none(self):
+        assert estimate_nbytes(3) == 8
+        assert estimate_nbytes(3.5) == 8
+        assert estimate_nbytes(None) == 16
+
+    def test_containers_grow(self):
+        assert estimate_nbytes([1, 2, 3]) > estimate_nbytes([1])
+        assert estimate_nbytes({"k": "v"}) > estimate_nbytes({})
+
+    def test_string(self):
+        assert estimate_nbytes("hello") == 21

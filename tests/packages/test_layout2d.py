@@ -1,0 +1,165 @@
+"""Tests for the 2-D POOMA decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.packages.pooma.layout2d import (
+    Field2D,
+    GridLayout2D,
+    diffusion_step_2d,
+)
+from repro.runtime import PoomaRuntime
+
+from ..runtime.conftest import make_world
+from .test_pooma import reference_diffusion
+
+
+def run_contexts(nprocs, main):
+    world = make_world(nodes=max(nprocs, 2))
+    prog = world.launch(main, host="hostA", nprocs=nprocs,
+                        rts_factory=PoomaRuntime)
+    world.run()
+    return prog.results
+
+
+class TestGridLayout2D:
+    def test_coords_roundtrip(self):
+        lay = GridLayout2D(8, 8, 2, 3)
+        for rank in range(6):
+            ry, rx = lay.coords(rank)
+            assert lay.rank_at(ry, rx) == rank
+
+    def test_tile_shapes_cover_grid(self):
+        lay = GridLayout2D(7, 5, 2, 2)
+        total = sum(r * c for r, c in
+                    (lay.local_shape(k) for k in range(lay.p)))
+        assert total == 35
+
+    def test_neighbors(self):
+        lay = GridLayout2D(6, 6, 2, 2)
+        assert lay.neighbors(0) == {"up": None, "down": 2,
+                                    "left": None, "right": 1}
+        assert lay.neighbors(3) == {"up": 1, "down": None,
+                                    "left": 2, "right": None}
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GridLayout2D(2, 2, 3, 1)
+        with pytest.raises(ValueError):
+            GridLayout2D(0, 2, 1, 1)
+        with pytest.raises(ValueError):
+            GridLayout2D(4, 4, 2, 2).coords(4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ny=st.integers(1, 20), nx=st.integers(1, 20),
+           py=st.integers(1, 4), px=st.integers(1, 4))
+    def test_property_flat_distribution_partitions(self, ny, nx, py, px):
+        if py > ny or px > nx:
+            return
+        d = GridLayout2D(ny, nx, py, px).flat_distribution()
+        assert sum(d.counts) == ny * nx
+        if ny * nx:
+            d.validate()
+
+
+class TestField2D:
+    def test_initial_from_global(self):
+        lay = GridLayout2D(4, 6, 2, 2)
+        init = np.arange(24.0).reshape(4, 6)
+        f = Field2D(lay, rank=3, initial=init)
+        np.testing.assert_array_equal(f.interior, init[2:4, 3:6])
+
+    def test_fill_global_coordinates(self):
+        lay = GridLayout2D(4, 4, 2, 2)
+        f = Field2D(lay, rank=3)
+        f.fill(lambda y, x: y * 10.0 + x)
+        assert f.interior[0, 0] == 22.0
+
+    def test_bad_initial_shape(self):
+        lay = GridLayout2D(4, 4, 2, 2)
+        with pytest.raises(ValueError, match="shape"):
+            Field2D(lay, 0, initial=np.zeros((3, 5)))
+
+    def test_ghost_exchange_includes_corners(self):
+        """The two-phase exchange gives diagonal neighbours' values in the
+        corner ghost cells (what 9-point stencils need)."""
+
+        def main(rts):
+            lay = GridLayout2D(4, 4, 2, 2)
+            f = Field2D(lay, rts.rank, rts)
+            f.interior = np.full(lay.local_shape(rts.rank),
+                                 float(rts.rank))
+            f.exchange_ghosts()
+            if rts.rank == 0:
+                # my bottom-right corner ghost comes from rank 3
+                return f.data[-1, -1]
+            return None
+
+        res = run_contexts(4, main)
+        assert res[0] == 3.0
+
+    def test_assemble(self):
+        def main(rts):
+            lay = GridLayout2D(5, 4, 2, 2)
+            f = Field2D(lay, rts.rank, rts)
+            f.fill(lambda y, x: y * 100.0 + x)
+            return f.assemble(root=0)
+
+        res = run_contexts(4, main)
+        expected = np.add.outer(np.arange(5) * 100.0, np.arange(4.0))
+        np.testing.assert_array_equal(res[0], expected)
+
+
+class TestDiffusion2D:
+    @pytest.mark.parametrize("py,px", [(1, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_sequential_reference(self, py, px):
+        ny = nx = 12
+        steps = 5
+        init = np.zeros((ny, nx))
+        init[5:7, 5:7] = 100.0
+        expected = reference_diffusion(init, steps)
+
+        def main(rts):
+            lay = GridLayout2D(ny, nx, py, px)
+            f = Field2D(lay, rts.rank, rts, initial=init)
+            for _ in range(steps):
+                diffusion_step_2d(f, alpha=0.1)
+            return f.assemble(root=0)
+
+        res = run_contexts(py * px, main)
+        np.testing.assert_allclose(res[0], expected, atol=1e-12)
+
+    def test_2d_tiling_matches_row_decomposition(self):
+        """Both decompositions of the same problem agree exactly."""
+        from repro.packages.pooma import Field, GridLayout, diffusion_step
+
+        ny = nx = 10
+        init = np.random.default_rng(3).uniform(0, 1, (ny, nx))
+
+        def rows_main(rts):
+            f = Field(GridLayout(ny, nx, rts.nprocs), rts.rank, rts,
+                      initial=init)
+            for _ in range(4):
+                diffusion_step(f)
+            return f.assemble(root=0)
+
+        def tiles_main(rts):
+            f = Field2D(GridLayout2D(ny, nx, 2, 2), rts.rank, rts,
+                        initial=init)
+            for _ in range(4):
+                diffusion_step_2d(f)
+            return f.assemble(root=0)
+
+        rows = run_contexts(4, rows_main)[0]
+        tiles = run_contexts(4, tiles_main)[0]
+        np.testing.assert_allclose(rows, tiles, atol=1e-12)
+
+    def test_charges_time(self):
+        def main(rts):
+            f = Field2D(GridLayout2D(8, 8, 1, 1), 0, rts)
+            t0 = rts.now()
+            diffusion_step_2d(f)
+            return rts.now() - t0
+
+        assert run_contexts(1, main)[0] > 0

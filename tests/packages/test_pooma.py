@@ -1,0 +1,154 @@
+"""Tests for the mini-POOMA package."""
+
+import numpy as np
+import pytest
+
+from repro.packages.pooma import (
+    Field,
+    GridLayout,
+    diffusion_step,
+    magnitude_gradient,
+    nine_point_stencil,
+)
+from repro.runtime import PoomaRuntime
+
+from ..runtime.conftest import make_world
+
+
+def run_contexts(nprocs, main):
+    world = make_world(nodes=max(nprocs, 2))
+    prog = world.launch(main, host="hostA", nprocs=nprocs,
+                        rts_factory=PoomaRuntime)
+    world.run()
+    return prog.results
+
+
+def reference_diffusion(grid, steps, alpha=0.1):
+    """Whole-grid single-process reference implementation."""
+    cur = np.asarray(grid, dtype=float).copy()
+    for _ in range(steps):
+        padded = np.pad(cur, 1, mode="edge")
+        cur = nine_point_stencil(padded, alpha)
+    return cur
+
+
+class TestGridLayout:
+    def test_row_partition(self):
+        lay = GridLayout(10, 4, p=3)
+        assert [lay.local_rows(r) for r in range(3)] == [4, 3, 3]
+        assert lay.row_start(1) == 4
+        assert lay.row_stop(2) == 10
+
+    def test_neighbors(self):
+        lay = GridLayout(9, 3, p=3)
+        assert lay.neighbors(0) == (None, 1)
+        assert lay.neighbors(1) == (0, 2)
+        assert lay.neighbors(2) == (1, None)
+
+    def test_flat_distribution_matches_rows(self):
+        lay = GridLayout(5, 4, p=2)
+        d = lay.flat_distribution()
+        assert d.intervals(0) == ((0, 12),)   # 3 rows * 4 cols
+        assert d.intervals(1) == ((12, 20),)
+
+    def test_invalid_layouts(self):
+        with pytest.raises(ValueError):
+            GridLayout(2, 2, p=3)  # more contexts than rows
+        with pytest.raises(ValueError):
+            GridLayout(0, 2, p=1)
+
+
+class TestField:
+    def test_initial_from_global(self):
+        lay = GridLayout(4, 3, p=2)
+        init = np.arange(12.0).reshape(4, 3)
+        f = Field(lay, rank=1, initial=init)
+        np.testing.assert_array_equal(f.interior, init[2:4])
+
+    def test_fill_uses_global_coordinates(self):
+        lay = GridLayout(4, 4, p=2)
+        f = Field(lay, rank=1)
+        f.fill(lambda y, x: y * 10.0 + x)
+        assert f.interior[0, 0] == 20.0  # global row 2
+
+    def test_bad_initial_shape(self):
+        lay = GridLayout(4, 4, p=2)
+        with pytest.raises(ValueError, match="shape"):
+            Field(lay, rank=0, initial=np.zeros((3, 3)))
+
+    def test_ghost_exchange(self):
+        def main(rts):
+            lay = GridLayout(6, 4, p=rts.nprocs)
+            f = Field(lay, rts.rank, rts)
+            f.fill(lambda y, x: y.astype(float))
+            f.exchange_ghosts()
+            up, down = lay.neighbors(rts.rank)
+            checks = []
+            if up is not None:
+                checks.append(f.data[0, 0] == lay.row_start(rts.rank) - 1)
+            if down is not None:
+                checks.append(f.data[-1, 0] == lay.row_stop(rts.rank))
+            return all(checks)
+
+        assert run_contexts(3, main) == [True, True, True]
+
+    def test_assemble(self):
+        def main(rts):
+            lay = GridLayout(5, 3, p=rts.nprocs)
+            f = Field(lay, rts.rank, rts)
+            f.fill(lambda y, x: y * 100.0 + x)
+            return f.assemble(root=0)
+
+        res = run_contexts(2, main)
+        expected = np.add.outer(np.arange(5) * 100.0, np.arange(3.0))
+        np.testing.assert_array_equal(res[0], expected)
+        assert res[1] is None
+
+
+class TestDiffusion:
+    def test_parallel_matches_reference(self):
+        ny = nx = 12
+        steps = 5
+        init = np.zeros((ny, nx))
+        init[5:7, 5:7] = 100.0
+        expected = reference_diffusion(init, steps)
+
+        def main(rts):
+            lay = GridLayout(ny, nx, p=rts.nprocs)
+            f = Field(lay, rts.rank, rts, initial=init)
+            for _ in range(steps):
+                diffusion_step(f, alpha=0.1)
+            return f.assemble(root=0)
+
+        for p in (1, 2, 3):
+            res = run_contexts(p, main)
+            np.testing.assert_allclose(res[0], expected, atol=1e-12)
+
+    def test_diffusion_conserves_shape_and_smooths(self):
+        init = np.zeros((8, 8))
+        init[4, 4] = 1.0
+        out = reference_diffusion(init, 10)
+        assert out.shape == (8, 8)
+        assert out.max() < 1.0
+        assert out.min() >= 0.0
+
+    def test_charges_compute_time(self):
+        def main(rts):
+            lay = GridLayout(16, 16, p=1)
+            f = Field(lay, 0, rts)
+            t0 = rts.now()
+            diffusion_step(f)
+            return rts.now() - t0
+
+        res = run_contexts(1, main)
+        assert res[0] > 0
+
+
+class TestGradient:
+    def test_magnitude_gradient_of_plane_is_constant(self):
+        plane = np.add.outer(np.arange(10.0) * 3.0, np.arange(10.0) * 4.0)
+        g = magnitude_gradient(plane)
+        np.testing.assert_allclose(g[1:-1, 1:-1], 5.0)
+
+    def test_gradient_flat_field_is_zero(self):
+        np.testing.assert_array_equal(magnitude_gradient(np.ones((5, 5))), 0)

@@ -1,0 +1,97 @@
+"""Tests for the mini HPC++ PSTL package."""
+
+import numpy as np
+import pytest
+
+from repro.packages.pstl import DVector, par_for_each, par_reduce, par_transform
+from repro.runtime import MPIRuntime
+
+from ..runtime.conftest import make_world
+
+
+def run_spmd(nprocs, main):
+    world = make_world(nodes=max(nprocs, 2))
+    prog = world.launch(main, host="hostA", nprocs=nprocs,
+                        rts_factory=MPIRuntime)
+    world.run()
+    return prog.results
+
+
+class TestDVector:
+    def test_from_global_blocks(self):
+        v = DVector.from_global(np.arange(10.0), rank=1, nprocs=3)
+        np.testing.assert_array_equal(v.local, [4.0, 5.0, 6.0])
+
+    def test_local_range(self):
+        v = DVector(10, rank=2, nprocs=3)
+        assert v.local_range() == (7, 10)
+
+    def test_wrong_local_shape(self):
+        with pytest.raises(ValueError):
+            DVector(10, rank=0, nprocs=2, local=np.zeros(3))
+
+    def test_assemble(self):
+        def main(rts):
+            v = DVector.from_global(np.arange(7.0), rts.rank, rts.nprocs, rts)
+            return v.assemble(root=0)
+
+        res = run_spmd(3, main)
+        np.testing.assert_array_equal(res[0], np.arange(7.0))
+
+    def test_copy_is_deep(self):
+        v = DVector.from_global(np.arange(4.0), 0, 1)
+        w = v.copy()
+        w.local[0] = 99
+        assert v.local[0] == 0
+
+
+class TestAlgorithms:
+    def test_par_transform(self):
+        def main(rts):
+            v = DVector.from_global(np.arange(9.0), rts.rank, rts.nprocs, rts)
+            w = par_transform(v, lambda x: x * x)
+            return w.assemble(root=0)
+
+        res = run_spmd(3, main)
+        np.testing.assert_array_equal(res[0], np.arange(9.0) ** 2)
+
+    def test_par_for_each_in_place(self):
+        def main(rts):
+            v = DVector.from_global(np.ones(6), rts.rank, rts.nprocs, rts)
+            par_for_each(v, lambda x: x + rts.rank)
+            return v.local.tolist()
+
+        res = run_spmd(2, main)
+        assert res[0] == [1.0, 1.0, 1.0]
+        assert res[1] == [2.0, 2.0, 2.0]
+
+    def test_par_reduce_sum(self):
+        def main(rts):
+            v = DVector.from_global(np.arange(10.0), rts.rank, rts.nprocs, rts)
+            return par_reduce(v)
+
+        assert run_spmd(4, main) == [45.0] * 4
+
+    def test_par_reduce_max(self):
+        def main(rts):
+            v = DVector.from_global(np.array([3.0, 9.0, 1.0, 7.0]),
+                                    rts.rank, rts.nprocs, rts)
+            return par_reduce(v, op=max, local_op=np.max)
+
+        assert run_spmd(2, main) == [9.0, 9.0]
+
+    def test_transform_misaligned_rejected(self):
+        v = DVector(8, rank=0, nprocs=2)
+        w = DVector(8, rank=0, nprocs=1)
+        with pytest.raises(ValueError):
+            par_transform(v, lambda x: x, out=w)
+
+    def test_algorithms_charge_time(self):
+        def main(rts):
+            v = DVector.from_global(np.ones(1000), rts.rank, rts.nprocs, rts)
+            t0 = rts.now()
+            par_transform(v, np.sqrt)
+            return rts.now() - t0
+
+        res = run_spmd(1, main)
+        assert res[0] > 0

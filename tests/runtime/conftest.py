@@ -1,0 +1,25 @@
+"""Shared fixtures for runtime tests."""
+
+import pytest
+
+from repro.netsim import ATM_155, Host, Network
+from repro.runtime import MPIRuntime, PoomaRuntime, TulipRuntime, World
+
+
+def make_world(nodes=8, flops=1e7):
+    net = Network()
+    net.add_host(Host("hostA", nodes=nodes, node_flops=flops))
+    net.add_host(Host("hostB", nodes=nodes, node_flops=flops))
+    net.connect("hostA", "hostB", ATM_155)
+    return World(net)
+
+
+@pytest.fixture
+def world():
+    return make_world()
+
+
+@pytest.fixture(params=[MPIRuntime, TulipRuntime, PoomaRuntime],
+                ids=["mpi", "tulip", "pooma"])
+def rts_factory(request):
+    return request.param

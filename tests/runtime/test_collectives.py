@@ -1,0 +1,152 @@
+"""Tests (incl. property-based) for collectives layered on the RTS."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import collectives as coll
+from repro.runtime import MPIRuntime
+
+from .conftest import make_world
+
+
+def run_spmd(nprocs, main, nodes=None):
+    world = make_world(nodes=nodes or max(nprocs, 2))
+    prog = world.launch(main, host="hostA", nprocs=nprocs,
+                        rts_factory=MPIRuntime)
+    world.run()
+    return prog.results
+
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_all_ranks_get_root_value(nprocs, root):
+    root = nprocs - 1 if root == "last" else 0
+
+    def main(rts):
+        value = f"payload-{rts.rank}" if rts.rank == root else None
+        return coll.bcast(rts, value, root=root)
+
+    assert run_spmd(nprocs, main) == [f"payload-{root}"] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_gather_collects_in_rank_order(nprocs):
+    def main(rts):
+        return coll.gather(rts, rts.rank * 10, root=0)
+
+    res = run_spmd(nprocs, main)
+    assert res[0] == [i * 10 for i in range(nprocs)]
+    assert all(r is None for r in res[1:])
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_scatter_distributes_in_rank_order(nprocs):
+    def main(rts):
+        values = [f"piece{i}" for i in range(rts.nprocs)] if rts.rank == 0 else None
+        return coll.scatter(rts, values, root=0)
+
+    assert run_spmd(nprocs, main) == [f"piece{i}" for i in range(nprocs)]
+
+
+def test_scatter_wrong_length_raises():
+    def main(rts):
+        with pytest.raises(ValueError):
+            coll.scatter(rts, [1], root=0)
+
+    run_spmd(2, lambda rts: main(rts) if rts.rank == 0 else
+             None)  # only root validates; avoid deadlock by not scattering
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_allgather(nprocs):
+    def main(rts):
+        return coll.allgather(rts, rts.rank ** 2)
+
+    expected = [i ** 2 for i in range(nprocs)]
+    assert run_spmd(nprocs, main) == [expected] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_reduce_sum(nprocs):
+    def main(rts):
+        return coll.reduce(rts, rts.rank + 1, operator.add, root=0)
+
+    res = run_spmd(nprocs, main)
+    assert res[0] == nprocs * (nprocs + 1) // 2
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_allreduce_max(nprocs):
+    def main(rts):
+        return coll.allreduce(rts, (rts.rank * 7) % 5, max)
+
+    expected = max((i * 7) % 5 for i in range(nprocs))
+    assert run_spmd(nprocs, main) == [expected] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_alltoall(nprocs):
+    def main(rts):
+        return coll.alltoall(rts, [(rts.rank, d) for d in range(rts.nprocs)])
+
+    res = run_spmd(nprocs, main)
+    for dst in range(nprocs):
+        assert res[dst] == [(src, dst) for src in range(nprocs)]
+
+
+def test_alltoall_wrong_length_raises():
+    def main(rts):
+        if rts.rank == 0:
+            with pytest.raises(ValueError):
+                coll.alltoall(rts, [1, 2, 3])
+
+    run_spmd(1, main)
+
+
+def test_back_to_back_collectives_do_not_alias():
+    """Consecutive collectives must not steal each other's messages."""
+
+    def main(rts):
+        a = coll.bcast(rts, "first" if rts.rank == 0 else None, root=0)
+        b = coll.bcast(rts, "second" if rts.rank == 0 else None, root=0)
+        c = coll.gather(rts, rts.rank, root=0)
+        return (a, b, c)
+
+    res = run_spmd(4, main)
+    assert all(r[0] == "first" and r[1] == "second" for r in res)
+    assert res[0][2] == [0, 1, 2, 3]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(min_value=1, max_value=6),
+    values=st.lists(st.integers(-1000, 1000), min_size=6, max_size=6),
+)
+def test_property_reduce_equals_python_sum(nprocs, values):
+    def main(rts):
+        return coll.allreduce(rts, values[rts.rank], operator.add)
+
+    expected = sum(values[:nprocs])
+    assert run_spmd(nprocs, main) == [expected] * nprocs
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(min_value=1, max_value=6),
+    root=st.integers(min_value=0, max_value=5),
+    payload=st.one_of(st.integers(), st.text(max_size=20),
+                      st.lists(st.integers(), max_size=5)),
+)
+def test_property_bcast_delivers_exactly_root_value(nprocs, root, payload):
+    root = root % nprocs
+
+    def main(rts):
+        v = payload if rts.rank == root else None
+        return coll.bcast(rts, v, root=root)
+
+    assert run_spmd(nprocs, main) == [payload] * nprocs

@@ -1,0 +1,262 @@
+"""Conformance tests run against every RTS backend (paper §2.2: the ORB
+requires only a minimal message-passing contract, satisfiable by multiple
+run-time systems)."""
+
+import pytest
+
+from repro.netsim import ANY
+from repro.runtime import ReservedTagError, PARDIS_TAG_BASE
+from repro.runtime.tulip import OneSidedError, TulipRuntime
+
+from .conftest import make_world
+
+
+def run_spmd(world, nprocs, main, rts_factory, host="hostA", args=()):
+    prog = world.launch(main, host=host, nprocs=nprocs,
+                        rts_factory=rts_factory, args=args)
+    world.run()
+    return prog.results
+
+
+class TestIdentity:
+    def test_rank_and_nprocs(self, world, rts_factory):
+        res = run_spmd(world, 4, lambda rts: (rts.rank, rts.nprocs), rts_factory)
+        assert res == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_program_backref(self, world, rts_factory):
+        res = run_spmd(world, 2, lambda rts: rts.program.name, rts_factory)
+        assert res == ["prog0", "prog0"]
+
+
+class TestPointToPoint:
+    def test_ring_pass(self, world, rts_factory):
+        def main(rts):
+            nxt = (rts.rank + 1) % rts.nprocs
+            prev = (rts.rank - 1) % rts.nprocs
+            rts.send(nxt, f"token-{rts.rank}", tag=1)
+            return rts.recv(src=prev, tag=1).payload
+
+        res = run_spmd(world, 5, main, rts_factory)
+        assert res == [f"token-{(i - 1) % 5}" for i in range(5)]
+
+    def test_tag_selectivity(self, world, rts_factory):
+        def main(rts):
+            if rts.rank == 0:
+                rts.send(1, "low", tag=1)
+                rts.send(1, "high", tag=2)
+                return None
+            a = rts.recv(tag=2).payload
+            b = rts.recv(tag=1).payload
+            return (a, b)
+
+        res = run_spmd(world, 2, main, rts_factory)
+        assert res[1] == ("high", "low")
+
+    def test_any_source(self, world, rts_factory):
+        def main(rts):
+            if rts.rank == 0:
+                got = sorted(rts.recv(src=ANY, tag=3).payload for _ in range(3))
+                return got
+            rts.send(0, rts.rank, tag=3)
+            return None
+
+        res = run_spmd(world, 4, main, rts_factory)
+        assert res[0] == [1, 2, 3]
+
+    def test_message_order_fifo_per_pair(self, world, rts_factory):
+        def main(rts):
+            if rts.rank == 0:
+                for i in range(10):
+                    rts.send(1, i, tag=0)
+                return None
+            return [rts.recv(src=0, tag=0).payload for _ in range(10)]
+
+        res = run_spmd(world, 2, main, rts_factory)
+        assert res[1] == list(range(10))
+
+    def test_iprobe(self, world, rts_factory):
+        def main(rts):
+            if rts.rank == 0:
+                rts.send(1, "x", tag=5)
+                return None
+            while not rts.iprobe(tag=5):
+                rts.compute(1e-4)
+            return rts.recv(tag=5).payload
+
+        res = run_spmd(world, 2, main, rts_factory)
+        assert res[1] == "x"
+
+    def test_reserved_tag_rejected_for_user_send(self, world, rts_factory):
+        def main(rts):
+            with pytest.raises(ReservedTagError):
+                rts.send(0, "nope", tag=PARDIS_TAG_BASE + 1)
+
+        run_spmd(world, 1, main, rts_factory)
+
+    def test_send_reserved_allows_pardis_tags(self, world, rts_factory):
+        def main(rts):
+            if rts.rank == 0:
+                rts.send_reserved(1, "orb", PARDIS_TAG_BASE + 1)
+                return None
+            return rts.recv(tag=PARDIS_TAG_BASE + 1).payload
+
+        res = run_spmd(world, 2, main, rts_factory)
+        assert res[1] == "orb"
+
+    def test_messages_cost_time(self, world, rts_factory):
+        def main(rts):
+            if rts.rank == 0:
+                rts.send(1, b"z" * 1_000_000, tag=0, nbytes=1_000_000)
+                return rts.now()
+            rts.recv(tag=0)
+            return rts.now()
+
+        res = run_spmd(world, 2, main, rts_factory)
+        assert res[0] > 0.0
+        assert res[1] >= res[0]
+
+
+class TestTimeCharging:
+    def test_compute_advances_clock(self, world, rts_factory):
+        def main(rts):
+            t0 = rts.now()
+            rts.compute(2.5)
+            return rts.now() - t0
+
+        assert run_spmd(world, 1, main, rts_factory) == [2.5]
+
+    def test_charge_flops_uses_host_rate(self, world, rts_factory):
+        def main(rts):
+            t0 = rts.now()
+            rts.charge_flops(1e7)  # host rate is 1e7 flops/s
+            return rts.now() - t0
+
+        assert run_spmd(world, 1, main, rts_factory) == [pytest.approx(1.0)]
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self, world, rts_factory):
+        def main(rts):
+            rts.compute(rts.rank * 1.0)
+            rts.barrier()
+            return rts.now()
+
+        res = run_spmd(world, 4, main, rts_factory)
+        slowest = 3.0
+        for t in res:
+            assert t >= slowest
+            assert t < slowest + 0.01  # barrier cost is small but nonzero
+
+    def test_barrier_single_thread(self, world, rts_factory):
+        run_spmd(world, 1, lambda rts: rts.barrier(), rts_factory)
+
+
+class TestOneSided:
+    def test_get_registered_object(self, world):
+        def main(rts):
+            rts.register("vec", [10 * rts.rank, 10 * rts.rank + 1])
+            rts.barrier()
+            if rts.rank == 0:
+                return rts.get(1, "vec")
+            return None
+
+        res = run_spmd(world, 2, main, TulipRuntime)
+        assert res[0] == [10, 11]
+
+    def test_get_with_selector(self, world):
+        def main(rts):
+            rts.register("vec", list(range(100)))
+            rts.barrier()
+            if rts.rank == 1:
+                return rts.get(0, "vec", selector=lambda v: v[42])
+            return None
+
+        res = run_spmd(world, 2, main, TulipRuntime)
+        assert res[1] == 42
+
+    def test_put_with_updater(self, world):
+        def main(rts):
+            data = [0, 0, 0]
+            rts.register("buf", data)
+            rts.barrier()
+            if rts.rank == 1:
+                rts.put(0, "buf", (1, 99),
+                        updater=lambda obj, v: obj.__setitem__(v[0], v[1]))
+            rts.barrier()
+            return data if rts.rank == 0 else None
+
+        res = run_spmd(world, 2, main, TulipRuntime)
+        assert res[0] == [0, 99, 0]
+
+    def test_get_unregistered_raises(self, world):
+        def main(rts):
+            with pytest.raises(OneSidedError):
+                rts.get(0, "missing")
+
+        run_spmd(world, 1, main, TulipRuntime)
+
+    def test_onesided_charges_time(self, world):
+        def main(rts):
+            rts.register("big", b"x" * 1_000_000)
+            rts.barrier()
+            if rts.rank == 0:
+                t0 = rts.now()
+                rts.get(1, "big")
+                return rts.now() - t0
+            return None
+
+        res = run_spmd(world, 2, main, TulipRuntime)
+        assert res[0] > 1e-4  # ~5.5ms at 180 MB/s
+
+
+class TestPoomaVocabulary:
+    def test_context_aliases(self, world):
+        from repro.runtime import PoomaRuntime
+
+        def main(rts):
+            return (rts.context, rts.ncontexts)
+
+        res = run_spmd(world, 3, main, PoomaRuntime)
+        assert res == [(0, 3), (1, 3), (2, 3)]
+
+    def test_csend_creceive(self, world):
+        from repro.runtime import PoomaRuntime
+
+        def main(rts):
+            if rts.context == 0:
+                rts.csend(1, "field-data", tag=4)
+                return None
+            return rts.creceive(context=0, tag=4).payload
+
+        res = run_spmd(world, 2, main, PoomaRuntime)
+        assert res[1] == "field-data"
+
+
+class TestPrograms:
+    def test_two_programs_coexist(self, world, rts_factory):
+        def main(rts):
+            rts.send((rts.rank + 1) % rts.nprocs, rts.program.name, tag=0)
+            return rts.recv(tag=0).payload
+
+        p1 = world.launch(main, host="hostA", nprocs=2, rts_factory=rts_factory)
+        p2 = world.launch(main, host="hostB", nprocs=3, rts_factory=rts_factory)
+        world.run()
+        assert p1.results == ["prog0", "prog0"]
+        assert p2.results == ["prog1", "prog1", "prog1"]
+
+    def test_program_too_big_for_host(self, world):
+        with pytest.raises(ValueError, match="nodes"):
+            world.launch(lambda rts: None, host="hostA", nprocs=99)
+
+    def test_node_offset_allows_colocation(self, world):
+        p1 = world.launch(lambda rts: rts.program.address(rts.rank).node,
+                          host="hostA", nprocs=2, node_offset=0)
+        p2 = world.launch(lambda rts: rts.program.address(rts.rank).node,
+                          host="hostA", nprocs=2, node_offset=2)
+        world.run()
+        assert p1.results == [0, 1]
+        assert p2.results == [2, 3]
+
+    def test_zero_threads_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.launch(lambda rts: None, host="hostA", nprocs=0)

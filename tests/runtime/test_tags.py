@@ -1,0 +1,45 @@
+"""Reserved tag-space tests (paper §2.2)."""
+
+import pytest
+
+from repro.runtime.tags import (
+    PARDIS_TAG_BASE,
+    ReservedTagError,
+    TAG_COLLECTIVE_WINDOW,
+    check_user_tag,
+    collective_tag,
+    is_reserved,
+)
+
+
+def test_user_tags_below_base():
+    assert check_user_tag(0) == 0
+    assert check_user_tag(PARDIS_TAG_BASE - 1) == PARDIS_TAG_BASE - 1
+
+
+def test_reserved_tags_rejected_for_users():
+    with pytest.raises(ReservedTagError):
+        check_user_tag(PARDIS_TAG_BASE)
+    with pytest.raises(ReservedTagError):
+        check_user_tag(-1)
+
+
+def test_is_reserved():
+    assert is_reserved(PARDIS_TAG_BASE)
+    assert is_reserved(collective_tag(0))
+    assert not is_reserved(100)
+
+
+def test_collective_tags_rotate_without_aliasing_nearby():
+    tags = [collective_tag(i) for i in range(1000)]
+    assert len(set(tags)) == 1000
+    assert collective_tag(0) == collective_tag(TAG_COLLECTIVE_WINDOW)
+
+
+def test_all_protocol_tags_reserved():
+    from repro.runtime import tags
+
+    for name in dir(tags):
+        if (name.startswith("TAG_") and not name.endswith("_WINDOW")
+                and isinstance(getattr(tags, name), int)):
+            assert is_reserved(getattr(tags, name)), name

@@ -1,0 +1,97 @@
+"""Property-based determinism tests: the kernel's defining guarantee.
+
+Random workloads of computing threads exchanging messages must produce
+*identical* event orders and timings on every run — this is what makes
+every experiment in the repository reproducible.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simkernel import Channel, SimKernel
+
+durations = st.lists(st.floats(min_value=0.0, max_value=2.0,
+                               allow_nan=False), min_size=1, max_size=6)
+
+
+def run_workload(schedules):
+    """N threads, each advancing through its schedule and logging."""
+    k = SimKernel()
+    log = []
+
+    def body(name, dts):
+        for dt in dts:
+            k.advance(dt)
+            log.append((name, round(k.now(), 9)))
+
+    for i, dts in enumerate(schedules):
+        k.spawn(body, i, dts, name=f"w{i}")
+    k.run()
+    return log
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(durations, min_size=1, max_size=5))
+def test_property_identical_runs_identical_logs(schedules):
+    assert run_workload(schedules) == run_workload(schedules)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(durations, min_size=1, max_size=5))
+def test_property_log_ordered_by_virtual_time(schedules):
+    log = run_workload(schedules)
+    times = [t for _, t in log]
+    assert times == sorted(times)
+
+
+def run_message_workload(seed, nthreads=4, nmsgs=5):
+    """Threads deterministically pseudo-randomly message each other."""
+    import random
+
+    k = SimKernel()
+    chans = [Channel(k, name=f"c{i}") for i in range(nthreads)]
+    log = []
+
+    def body(me):
+        rng = random.Random(seed * 1000 + me)
+        for i in range(nmsgs):
+            k.advance(rng.uniform(0.0, 1.0))
+            dst = rng.randrange(nthreads)
+            chans[dst].push((me, i), arrival=k.now() + rng.uniform(0, 0.5))
+        # Drain whatever arrived for us.
+        while True:
+            env = chans[me].poll()
+            if env is None:
+                break
+            log.append((me, env.payload, round(env.arrival, 9)))
+
+    for i in range(nthreads):
+        k.spawn(body, i, name=f"m{i}")
+    k.run()
+    return log
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_property_message_workloads_deterministic(seed):
+    assert run_message_workload(seed) == run_message_workload(seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_property_kernel_counters_deterministic(seed):
+    def run():
+        import random
+
+        k = SimKernel()
+
+        def body(me):
+            rng = random.Random(seed + me)
+            for _ in range(4):
+                k.advance(rng.uniform(0.01, 1.0))
+
+        for i in range(3):
+            k.spawn(body, i)
+        k.run()
+        return (k.events_processed, k.context_switches)
+
+    assert run() == run()

@@ -1,0 +1,64 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simkernel import EventQueue
+
+
+class Dummy:
+    pass
+
+
+def test_pop_order_by_time():
+    q = EventQueue()
+    t = Dummy()
+    q.push(3.0, t)
+    q.push(1.0, t)
+    q.push(2.0, t)
+    assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+
+def test_ties_broken_by_insertion_order():
+    q = EventQueue()
+    a, b = Dummy(), Dummy()
+    q.push(1.0, a)
+    q.push(1.0, b)
+    assert q.pop().thread is a
+    assert q.pop().thread is b
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    t = Dummy()
+    ev = q.push(1.0, t)
+    q.push(2.0, t)
+    ev.cancel()
+    assert q.pop().time == 2.0
+
+
+def test_len_ignores_cancelled():
+    q = EventQueue()
+    t = Dummy()
+    ev = q.push(1.0, t)
+    q.push(2.0, t)
+    assert len(q) == 2
+    ev.cancel()
+    assert len(q) == 1
+
+
+def test_bool_and_peek():
+    q = EventQueue()
+    assert not q
+    assert q.peek_time() is None
+    t = Dummy()
+    ev = q.push(5.0, t)
+    assert q
+    assert q.peek_time() == 5.0
+    ev.cancel()
+    assert not q
+    assert q.peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()

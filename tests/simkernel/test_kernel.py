@@ -1,0 +1,284 @@
+"""Tests for the virtual-time kernel scheduler."""
+
+import pytest
+
+from repro.simkernel import (
+    DeadlockError,
+    SimError,
+    SimKernel,
+    SimThreadFailed,
+    ThreadState,
+)
+
+
+def test_single_thread_runs_to_completion():
+    k = SimKernel()
+    out = []
+    k.spawn(lambda: out.append("ran"), name="t0")
+    k.run()
+    assert out == ["ran"]
+
+
+def test_thread_result_is_captured():
+    k = SimKernel()
+    t = k.spawn(lambda: 42)
+    k.run()
+    assert t.result == 42
+    assert t.state == ThreadState.DONE
+
+
+def test_advance_moves_local_clock():
+    k = SimKernel()
+    times = []
+
+    def body():
+        times.append(k.now())
+        k.advance(2.5)
+        times.append(k.now())
+        k.advance(0.5)
+        times.append(k.now())
+
+    k.spawn(body)
+    end = k.run()
+    assert times == [0.0, 2.5, 3.0]
+    assert end == 3.0
+
+
+def test_advance_zero_is_noop():
+    k = SimKernel()
+
+    def body():
+        k.advance(0.0)
+        return k.now()
+
+    t = k.spawn(body)
+    k.run()
+    assert t.result == 0.0
+
+
+def test_advance_negative_raises():
+    k = SimKernel()
+
+    def body():
+        k.advance(-1.0)
+
+    k.spawn(body)
+    with pytest.raises(SimThreadFailed) as ei:
+        k.run()
+    assert isinstance(ei.value.original, ValueError)
+
+
+def test_threads_interleave_in_virtual_time_order():
+    k = SimKernel()
+    order = []
+
+    def body(name, step):
+        for i in range(3):
+            k.advance(step)
+            order.append((name, k.now()))
+
+    k.spawn(body, "a", 1.0)
+    k.spawn(body, "b", 0.4)
+    k.run()
+    assert order == sorted(order, key=lambda x: x[1])
+    assert order[0] == ("b", 0.4)
+    assert order[-1] == ("a", 3.0)
+
+
+def test_same_time_ties_broken_by_spawn_order():
+    k = SimKernel()
+    order = []
+    for name in ["x", "y", "z"]:
+        k.spawn(lambda n=name: order.append(n))
+    k.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_determinism_across_runs():
+    def build():
+        k = SimKernel()
+        log = []
+
+        def body(name, dts):
+            for dt in dts:
+                k.advance(dt)
+                log.append((name, k.now()))
+
+        k.spawn(body, "a", [0.3, 0.3, 0.1])
+        k.spawn(body, "b", [0.2, 0.5, 0.2])
+        k.spawn(body, "c", [0.7])
+        k.run()
+        return log
+
+    assert build() == build()
+
+
+def test_spawn_inside_sim_thread():
+    k = SimKernel()
+    log = []
+
+    def child():
+        log.append(("child", k.now()))
+
+    def parent():
+        k.advance(5.0)
+        k.spawn(child, name="child")
+        k.advance(1.0)
+        log.append(("parent", k.now()))
+
+    k.spawn(parent, name="parent")
+    k.run()
+    assert ("child", 5.0) in log
+    assert ("parent", 6.0) in log
+
+
+def test_spawn_start_time_in_future():
+    k = SimKernel()
+    t = k.spawn(lambda: k.now(), start_time=10.0)
+    k.run()
+    assert t.result == 10.0
+
+
+def test_spawn_start_time_not_before_parent():
+    k = SimKernel()
+
+    def parent():
+        k.advance(8.0)
+        return k.spawn(lambda: k.now(), start_time=3.0)
+
+    p = k.spawn(parent)
+    k.run()
+    assert p.result.result == 8.0
+
+
+def test_exception_propagates_with_thread_name():
+    k = SimKernel()
+
+    def boom():
+        raise RuntimeError("kapow")
+
+    k.spawn(boom, name="bomber")
+    with pytest.raises(SimThreadFailed, match="bomber"):
+        k.run()
+
+
+def test_deadlock_detected():
+    k = SimKernel()
+    k.spawn(lambda: k.block("waiting forever"), name="stuck")
+    with pytest.raises(DeadlockError, match="stuck"):
+        k.run()
+
+
+def test_daemon_thread_does_not_deadlock_run():
+    k = SimKernel()
+    k.spawn(lambda: k.block("serving"), name="server", daemon=True)
+    k.spawn(lambda: k.advance(1.0), name="client")
+    assert k.run() == 1.0
+
+
+def test_block_and_wake_transfer_time():
+    k = SimKernel()
+    result = {}
+
+    def sleeper():
+        k.block("for wake")
+        result["woke_at"] = k.now()
+
+    def waker(target):
+        k.advance(4.0)
+        k.wake(target, 7.0)
+
+    t = k.spawn(sleeper)
+    k.spawn(waker, t)
+    k.run()
+    assert result["woke_at"] == 7.0
+
+
+def test_wake_never_moves_clock_backwards():
+    k = SimKernel()
+    result = {}
+
+    def sleeper():
+        k.advance(10.0)
+        k.block("for wake")
+        result["woke_at"] = k.now()
+
+    def waker(target):
+        k.advance(11.0)
+        k.wake(target, 2.0)
+
+    t = k.spawn(sleeper)
+    k.spawn(waker, t)
+    k.run()
+    assert result["woke_at"] == 10.0
+
+
+def test_run_until_stops_early():
+    k = SimKernel()
+    log = []
+
+    def body():
+        for _ in range(10):
+            k.advance(1.0)
+            log.append(k.now())
+
+    k.spawn(body)
+    k.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    k.run()  # resume to completion
+    assert log[-1] == 10.0
+
+
+def test_run_not_reentrant():
+    k = SimKernel()
+
+    def body():
+        k.run()
+
+    k.spawn(body)
+    with pytest.raises(SimThreadFailed) as ei:
+        k.run()
+    assert isinstance(ei.value.original, SimError)
+
+
+def test_spawn_after_finish_rejected():
+    k = SimKernel()
+    k.spawn(lambda: None)
+    k.run()
+    with pytest.raises(SimError):
+        k.spawn(lambda: None)
+
+
+def test_sleep_until():
+    k = SimKernel()
+
+    def body():
+        k.sleep_until(5.0)
+        a = k.now()
+        k.sleep_until(2.0)  # in the past: no-op
+        return (a, k.now())
+
+    t = k.spawn(body)
+    k.run()
+    assert t.result == (5.0, 5.0)
+
+
+def test_many_threads_scale():
+    k = SimKernel()
+    done = []
+    for i in range(100):
+        k.spawn(lambda i=i: (k.advance(i * 0.01), done.append(i)))
+    k.run()
+    assert sorted(done) == list(range(100))
+    # increasing advance => completion order equals spawn order
+    assert done == list(range(100))
+
+
+def test_now_outside_sim_is_zero():
+    k = SimKernel()
+    assert k.now() == 0.0
+
+
+def test_current_outside_sim_raises():
+    with pytest.raises(Exception):
+        SimKernel.current()

@@ -1,0 +1,224 @@
+"""Tests for virtual-time synchronization primitives."""
+
+import pytest
+
+from repro.simkernel import (
+    SimBarrier,
+    SimCondition,
+    SimError,
+    SimKernel,
+    SimLock,
+    SimSemaphore,
+    SimThreadFailed,
+)
+
+
+def test_lock_mutual_exclusion():
+    k = SimKernel()
+    lock = SimLock(k)
+    log = []
+
+    def body(name):
+        with lock:
+            log.append((name, "in"))
+            k.advance(1.0)
+            log.append((name, "out"))
+
+    k.spawn(body, "a")
+    k.spawn(body, "b")
+    k.run()
+    assert log == [("a", "in"), ("a", "out"), ("b", "in"), ("b", "out")]
+
+
+def test_lock_release_by_non_owner_raises():
+    k = SimKernel()
+    lock = SimLock(k)
+    k.spawn(lock.release)
+    with pytest.raises(SimThreadFailed) as ei:
+        k.run()
+    assert isinstance(ei.value.original, SimError)
+
+
+def test_lock_reacquire_raises():
+    k = SimKernel()
+    lock = SimLock(k)
+
+    def body():
+        lock.acquire()
+        lock.acquire()
+
+    k.spawn(body)
+    with pytest.raises(SimThreadFailed):
+        k.run()
+
+
+def test_lock_fifo_order():
+    k = SimKernel()
+    lock = SimLock(k)
+    order = []
+
+    def holder():
+        with lock:
+            k.advance(10.0)
+
+    def waiter(name, delay):
+        k.advance(delay)
+        with lock:
+            order.append(name)
+
+    k.spawn(holder)
+    k.spawn(waiter, "first", 1.0)
+    k.spawn(waiter, "second", 2.0)
+    k.run()
+    assert order == ["first", "second"]
+
+
+def test_condition_wait_notify():
+    k = SimKernel()
+    lock = SimLock(k)
+    cond = SimCondition(lock)
+    state = {"ready": False, "seen": None}
+
+    def consumer():
+        with lock:
+            while not state["ready"]:
+                cond.wait()
+            state["seen"] = k.now()
+
+    def producer():
+        k.advance(3.0)
+        with lock:
+            state["ready"] = True
+            cond.notify()
+
+    k.spawn(consumer)
+    k.spawn(producer)
+    k.run()
+    assert state["seen"] == 3.0
+
+
+def test_condition_wait_without_lock_raises():
+    k = SimKernel()
+    cond = SimCondition(SimLock(k))
+    k.spawn(cond.wait)
+    with pytest.raises(SimThreadFailed):
+        k.run()
+
+
+def test_condition_notify_all():
+    k = SimKernel()
+    lock = SimLock(k)
+    cond = SimCondition(lock)
+    woken = []
+
+    def waiter(name):
+        with lock:
+            cond.wait()
+            woken.append(name)
+
+    def notifier():
+        k.advance(1.0)
+        with lock:
+            cond.notify_all()
+
+    for n in ["a", "b", "c"]:
+        k.spawn(waiter, n)
+    k.spawn(notifier)
+    k.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_barrier_releases_at_last_arrival():
+    k = SimKernel()
+    bar = SimBarrier(k, 3)
+    times = {}
+
+    def body(name, delay):
+        k.advance(delay)
+        bar.wait()
+        times[name] = k.now()
+
+    k.spawn(body, "a", 1.0)
+    k.spawn(body, "b", 5.0)
+    k.spawn(body, "c", 3.0)
+    k.run()
+    assert times == {"a": 5.0, "b": 5.0, "c": 5.0}
+
+
+def test_barrier_reusable_generations():
+    k = SimKernel()
+    bar = SimBarrier(k, 2)
+    gens = []
+
+    def body(delay):
+        for _ in range(3):
+            k.advance(delay)
+            gens.append(bar.wait())
+
+    k.spawn(body, 1.0)
+    k.spawn(body, 2.0)
+    k.run()
+    assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+
+def test_barrier_single_party_is_noop():
+    k = SimKernel()
+    bar = SimBarrier(k, 1)
+
+    def body():
+        bar.wait()
+        return k.now()
+
+    t = k.spawn(body)
+    k.run()
+    assert t.result == 0.0
+
+
+def test_barrier_invalid_parties():
+    k = SimKernel()
+    with pytest.raises(ValueError):
+        SimBarrier(k, 0)
+
+
+def test_semaphore_bounds_concurrency():
+    k = SimKernel()
+    sem = SimSemaphore(k, 2)
+    active = {"n": 0, "max": 0}
+
+    def body():
+        sem.acquire()
+        active["n"] += 1
+        active["max"] = max(active["max"], active["n"])
+        k.advance(1.0)
+        active["n"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        k.spawn(body)
+    k.run()
+    assert active["max"] == 2
+
+
+def test_semaphore_initial_value_zero():
+    k = SimKernel()
+    sem = SimSemaphore(k, 0)
+    log = []
+
+    def waiter():
+        sem.acquire()
+        log.append(k.now())
+
+    def releaser():
+        k.advance(4.0)
+        sem.release()
+
+    k.spawn(waiter)
+    k.spawn(releaser)
+    k.run()
+    assert log == [4.0]
+
+
+def test_semaphore_negative_value_rejected():
+    k = SimKernel()
+    with pytest.raises(ValueError):
+        SimSemaphore(k, -1)

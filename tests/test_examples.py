@@ -1,0 +1,77 @@
+"""Integration: every example script runs to completion and produces the
+narrative output it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    r = run_example("quickstart.py")
+    assert r.returncode == 0, r.stderr
+    assert "||v||" in r.stdout
+    assert "via future" in r.stdout
+    assert "packets" in r.stdout
+
+
+def test_concurrent_solvers():
+    r = run_example("concurrent_solvers.py", "120")
+    assert r.returncode == 0, r.stderr
+    assert "max |X1 - X2|" in r.stdout
+    assert "virtual seconds" in r.stdout
+
+
+def test_dna_search():
+    r = run_example("dna_search.py", "3")
+    assert r.returncode == 0, r.stderr
+    assert "search resolved" in r.stdout
+    for cat in ("exact", "transposition", "deletion", "substitution",
+                "addition"):
+        assert cat in r.stdout
+
+
+def test_pipeline():
+    r = run_example("pipeline.py", "2", "20")
+    assert r.returncode == 0, r.stderr
+    assert "gradient requests" in r.stdout
+    assert "overall" in r.stdout
+
+
+def test_distribution_templates():
+    r = run_example("distribution_templates.py")
+    assert r.returncode == 0, r.stderr
+    assert "template [3, 1]" in r.stdout
+    assert "CYCLIC" in r.stdout
+    assert "rebinned result arrived BLOCK" in r.stdout
+
+
+def test_dynamic_client():
+    r = run_example("dynamic_client.py")
+    assert r.returncode == 0, r.stderr
+    assert "bound dynamically" in r.stdout
+    assert "wire summary" in r.stdout
+    assert "arg-fragment" in r.stdout
+
+
+def test_parameter_study():
+    r = run_example("parameter_study.py", "4", "8")
+    assert r.returncode == 0, r.stderr
+    assert "best regularization" in r.stdout
+    assert "farm speedup" in r.stdout
