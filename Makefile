@@ -3,7 +3,7 @@
 # editable builds need it); with wheel available, `pip install -e .`
 # works too.
 
-.PHONY: install test bench figures all
+.PHONY: install test bench figures trace-demo all
 
 install:
 	python setup.py develop
@@ -16,5 +16,15 @@ bench:
 
 figures:
 	python -m repro.experiments all --plot
+
+# Record the request lifecycle of a small fig2 run and validate the
+# emitted Chrome-trace JSON (load it in chrome://tracing or Perfetto).
+trace-demo:
+	python -m repro.experiments --trace fig2-trace.json fig2 --sizes 200
+	python -c "import json; from repro.tools import validate_chrome_trace; \
+	n = validate_chrome_trace(json.load(open('fig2-trace.json')), \
+	require_phases=('marshal', 'send', 'wait', 'unmarshal', 'dispatch', \
+	'recv_args', 'compute', 'reply', 'transport')); \
+	print(f'fig2-trace.json: {n} events, schema ok')"
 
 all: install test bench

@@ -6,7 +6,13 @@ parallel program's communication domain (paper §4.1).
 """
 
 from .decoder import CdrDecoder, decode
-from .encoder import CdrEncoder, MarshalError, encode
+from .encoder import (
+    CdrEncoder,
+    MarshalError,
+    encode,
+    get_marshal_meter,
+    set_marshal_meter,
+)
 from .typecodes import (
     ArrayTC,
     DSequenceTC,
@@ -62,6 +68,8 @@ __all__ = [
     "UnionTC",
     "decode",
     "encode",
+    "get_marshal_meter",
     "is_numeric_primitive",
+    "set_marshal_meter",
     "wire_size",
 ]

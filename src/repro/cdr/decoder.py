@@ -98,7 +98,10 @@ class CdrDecoder:
             idx = self.get_ulong()
             if idx >= len(tc.members):
                 raise MarshalError(f"enum {tc.name} has no member index {idx}")
-            return idx
+            # Decoding yields the member *name*: the encoder accepts both
+            # names and indices, so name-out makes decode(encode(v)) a
+            # fixed point regardless of which form was encoded.
+            return tc.members[idx]
         if isinstance(tc, SequenceTC):
             return self._decode_sequence(tc)
         if isinstance(tc, DSequenceTC):
@@ -176,8 +179,12 @@ class CdrDecoder:
 
 def decode(tc: TypeCode, data: bytes) -> Any:
     """One-shot decode; requires the buffer to be fully consumed."""
+    from .encoder import _MARSHAL_METER
+
     dec = CdrDecoder(data)
     value = dec.decode(tc)
     if not dec.done():
         raise MarshalError(f"{dec.remaining} trailing bytes after decode")
+    if _MARSHAL_METER is not None:
+        _MARSHAL_METER.on_decode(len(data))
     return value

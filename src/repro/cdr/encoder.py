@@ -40,6 +40,23 @@ class MarshalError(ValueError):
     """Value cannot be encoded under the given TypeCode."""
 
 
+#: Optional global marshal meter (an object with ``on_encode(nbytes)`` /
+#: ``on_decode(nbytes)``), fed by the one-shot encode/decode entry points
+#: and the ORB's scalar/fragment helpers.  ``None`` (the default) keeps
+#: the hot paths at a single identity check.
+_MARSHAL_METER = None
+
+
+def set_marshal_meter(meter) -> None:
+    """Install (or clear, with ``None``) the global marshal byte meter."""
+    global _MARSHAL_METER
+    _MARSHAL_METER = meter
+
+
+def get_marshal_meter():
+    return _MARSHAL_METER
+
+
 class CdrEncoder:
     """Append-only CDR output stream."""
 
@@ -225,19 +242,6 @@ class CdrEncoder:
         self.encode(arm[1], arm_value)
 
     def _encode_sequence(self, tc: SequenceTC, value: Any) -> None:
-        if isinstance(value, np.ndarray) or (
-            is_numeric_primitive(tc.element) and not isinstance(value, (str, bytes))
-        ):
-            try:
-                n = len(value)
-            except TypeError:
-                raise MarshalError(
-                    f"expected a sized sequence, got {type(value).__name__}"
-                ) from None
-            if tc.bound is not None and n > tc.bound:
-                raise MarshalError(f"sequence of {n} exceeds bound {tc.bound}")
-            self.put_bulk(tc.element, value)
-            return
         try:
             n = len(value)
         except TypeError:
@@ -246,6 +250,12 @@ class CdrEncoder:
             ) from None
         if tc.bound is not None and n > tc.bound:
             raise MarshalError(f"sequence of {n} exceeds bound {tc.bound}")
+        # The bulk path is only valid for numeric primitive elements: an
+        # ndarray handed to a sequence-of-structs (or similar) must go
+        # element-wise so a wrong element type raises MarshalError.
+        if is_numeric_primitive(tc.element) and not isinstance(value, (str, bytes)):
+            self.put_bulk(tc.element, value)
+            return
         self.put_ulong(n)
         for item in value:
             self.encode(tc.element, item)
@@ -253,4 +263,7 @@ class CdrEncoder:
 
 def encode(tc: TypeCode, value: Any) -> bytes:
     """One-shot encode."""
-    return CdrEncoder().encode(tc, value).getvalue()
+    data = CdrEncoder().encode(tc, value).getvalue()
+    if _MARSHAL_METER is not None:
+        _MARSHAL_METER.on_encode(len(data))
+    return data

@@ -215,6 +215,12 @@ class UnionTC(TypeCode):
     kind = "union"
 
     def arm_for(self, disc: Any):
+        # Enum-discriminated unions store integer labels (member indices);
+        # accept member names too, since enums decode to their names.
+        if isinstance(self.discriminator, EnumTC) and isinstance(disc, str):
+            if disc not in self.discriminator.members:
+                return None
+            disc = self.discriminator.members.index(disc)
         for label, aname, atc in self.cases:
             if label == disc:
                 return aname, atc

@@ -48,11 +48,24 @@ class Future:
             raise FutureError("future is already bound to an invocation")
         self._progress = progress
 
+    def _settled(self) -> bool:
+        return self._value is not _UNSET or self._exc is not None
+
     def _resolve(self, value: Any) -> None:
+        if self._settled():
+            raise FutureError(
+                f"future {self.label or '<anonymous>'} is already settled; "
+                "cannot resolve it twice"
+            )
         self._value = value
         self._progress = None
 
     def _fail(self, exc: BaseException) -> None:
+        if self._settled():
+            raise FutureError(
+                f"future {self.label or '<anonymous>'} is already settled; "
+                "cannot fail it twice"
+            )
         self._exc = exc
         self._value = None
         self._progress = None
@@ -80,7 +93,7 @@ class Future:
     def wait(self) -> "Future":
         """Block until resolved; returns self (for chaining)."""
         if not self.resolved():
-            self.value() if self._exc is None else None
+            self.value()
         return self
 
     def __repr__(self) -> str:

@@ -114,6 +114,7 @@ class PendingRequest:
         self.ctx = binding.ctx
         self.op = op
         self.req_id = req_id
+        self._obs = binding.ctx.orb.observer
         self.out_requests = out_requests
         self.reply: Optional[ReplyHeader] = None
         self.done = False
@@ -180,8 +181,14 @@ class PendingRequest:
             return extra is None or extra(body)
 
         if block:
+            obs = self._obs
+            t0 = self.ctx.now() if obs is not None else 0.0
             env = ep.channel.receive(match, reason=f"reply {self.op.name}",
                                      deadline=self.deadline)
+            if obs is not None:
+                obs.span("wait", self.op.name, self.req_id,
+                         self.ctx.program.name, self.binding.client_index,
+                         t0, self.ctx.now())
             if env is None:
                 self._fail(SystemException(
                     f"{self.op.name} timed out after "
@@ -232,12 +239,18 @@ class PendingRequest:
             raise SystemException(
                 f"unexpected fragment for {frag.param!r} of {self.op.name}"
             )
+        obs = self._obs
+        t0 = self.ctx.now() if obs is not None else 0.0
         dist, storage, _ = state
         param = next(p for p in self.op.dseq_out_params if p.name == frag.param)
         values = fragment_values(param.tc.element, frag.payload)
         _transfer.insert(dist, self.binding.client_index, storage.owned_data,
                          tuple(frag.intervals), values)
         state[2] -= 1
+        if obs is not None:
+            obs.span("unmarshal", self.op.name, self.req_id,
+                     self.ctx.program.name, self.binding.client_index,
+                     t0, self.ctx.now(), nbytes=len(frag.payload))
 
     def _build_exception(self, reply: ReplyHeader) -> BaseException:
         if reply.status == STATUS_USER_EXC:
@@ -259,6 +272,8 @@ class PendingRequest:
     # -- completion -------------------------------------------------------------------
 
     def _finish(self) -> None:
+        obs = self._obs
+        t0 = self.ctx.now() if obs is not None else 0.0
         specs = scalar_result_specs(self.op)
         scalars = decode_scalars(specs, self.reply.scalar_results)
         materialize_objrefs(specs, scalars, self.ctx)
@@ -279,6 +294,13 @@ class PendingRequest:
                        else tuple(values))
         self.done = True
         self._detach()
+        if obs is not None:
+            now = self.ctx.now()
+            obs.span("unmarshal", self.op.name, self.req_id,
+                     self.ctx.program.name, self.binding.client_index,
+                     t0, now, nbytes=len(self.reply.scalar_results))
+            obs.request_finished(self.req_id, self.ctx.program.name,
+                                 self.binding.client_index, now, "ok")
         self.result_future._resolve(self.result)
         for fut, val in zip(self.placeholders, out_values):
             fut._resolve(val)
@@ -287,6 +309,10 @@ class PendingRequest:
         self.error = exc
         self.done = True
         self._detach()
+        if self._obs is not None:
+            self._obs.request_finished(self.req_id, self.ctx.program.name,
+                                       self.binding.client_index,
+                                       self.ctx.now(), "failed")
         self.result_future._fail(exc)
         for fut in self.placeholders:
             fut._fail(exc)
@@ -339,6 +365,12 @@ def invoke(binding: Binding, op: OpDef, in_values: tuple,
     my_idx = binding.client_index
     p_client = binding.client_nthreads
 
+    obs = ctx.orb.observer
+    t_marshal0 = ctx.now() if obs is not None else 0.0
+    if obs is not None:
+        obs.request_started(req_id, op.name, ctx.program.name, my_idx,
+                            t_marshal0)
+
     # Partition arguments.
     named_in = dict(zip((p.name for p in op.in_params), in_values))
     scalar_args = encode_scalars(
@@ -378,12 +410,20 @@ def invoke(binding: Binding, op: OpDef, in_values: tuple,
         oneway=op.oneway,
     )
 
+    if obs is not None:
+        t_send0 = ctx.now()
+        obs.span("marshal", op.name, req_id, ctx.program.name, my_idx,
+                 t_marshal0, t_send0, nbytes=len(scalar_args))
+    sent_nbytes = 0
+
     transport = ctx.orb.world.transport
     offload = cfg.communication_threads
     if my_idx == 0:
+        hdr_nb = header.nbytes()
         transport.send(ctx.endpoint.address, ref.root_endpoint, header,
-                       tag=TAG_REQUEST_HEADER, nbytes=header.nbytes(),
+                       tag=TAG_REQUEST_HEADER, nbytes=hdr_nb,
                        oneway=op.oneway or offload)
+        sent_nbytes += hdr_nb
 
     # Direct parallel transfer of distributed in-arguments.
     for param in op.dseq_in_params:
@@ -397,12 +437,22 @@ def invoke(binding: Binding, op: OpDef, in_values: tuple,
                                        item.intervals)
             payload = fragment_payload(param.tc.element, values)
             frag = Fragment(req_id, param.name, my_idx, item.intervals, payload)
+            frag_nb = frag.nbytes()
             transport.send(
                 ctx.endpoint.address, ref.endpoints[item.dst_rank], frag,
-                tag=TAG_ARG_FRAGMENT, nbytes=frag.nbytes(),
+                tag=TAG_ARG_FRAGMENT, nbytes=frag_nb,
                 oneway=op.oneway or offload,
             )
+            sent_nbytes += frag_nb
     ctx.orb.requests_sent += 1
+
+    if obs is not None:
+        now = ctx.now()
+        obs.span("send", op.name, req_id, ctx.program.name, my_idx,
+                 t_send0, now, nbytes=sent_nbytes)
+        if op.oneway:
+            obs.request_finished(req_id, ctx.program.name, my_idx, now,
+                                 "oneway")
 
     if op.oneway:
         return None
@@ -436,7 +486,12 @@ def _invoke_local(binding: Binding, op: OpDef, in_values: tuple,
     rank = ctx.rank if binding.ref.kind == "spmd" else binding.ref.owner_rank
     servant = record.servants[rank]
     ctx.orb.local_bypasses += 1
+    obs = ctx.orb.observer
+    t0 = ctx.now() if obs is not None else 0.0
     result = getattr(servant, op.name)(*in_values)
+    if obs is not None:
+        obs.span("local", op.name, "local", ctx.program.name,
+                 binding.client_index, t0, ctx.now())
     if blocking:
         return result
     fut = Future(label=f"{op.name}(local)")

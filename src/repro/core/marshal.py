@@ -20,6 +20,7 @@ from ..cdr import (
     SequenceTC,
     TypeCode,
 )
+from ..cdr import encoder as _cdr_encoder
 from .distribution import Distribution
 from .dsequence import DistributedSequence
 from .errors import BadOperation
@@ -36,11 +37,18 @@ def encode_scalars(specs: list[tuple[str, TypeCode]], values: dict) -> bytes:
     enc = CdrEncoder()
     for name, tc in specs:
         enc.encode(tc, values[name])
-    return enc.getvalue()
+    data = enc.getvalue()
+    meter = _cdr_encoder._MARSHAL_METER
+    if meter is not None:
+        meter.on_encode(len(data))
+    return data
 
 
 def decode_scalars(specs: list[tuple[str, TypeCode]], data: bytes) -> dict:
     dec = CdrDecoder(data)
+    meter = _cdr_encoder._MARSHAL_METER
+    if meter is not None:
+        meter.on_decode(len(data))
     return {name: dec.decode(tc) for name, tc in specs}
 
 
@@ -111,11 +119,18 @@ def wrap_out(param: ParamDef, dseq: DistributedSequence) -> Any:
 
 
 def fragment_payload(element: TypeCode, values) -> bytes:
-    return CdrEncoder().encode(SequenceTC(element), values).getvalue()
+    data = CdrEncoder().encode(SequenceTC(element), values).getvalue()
+    meter = _cdr_encoder._MARSHAL_METER
+    if meter is not None:
+        meter.on_encode(len(data))
+    return data
 
 
 def fragment_values(element: TypeCode, payload: bytes):
     dec = CdrDecoder(payload)
+    meter = _cdr_encoder._MARSHAL_METER
+    if meter is not None:
+        meter.on_decode(len(payload))
     return dec.decode(SequenceTC(element))
 
 

@@ -122,6 +122,9 @@ class ORB:
         #: counters for tests/benchmarks
         self.requests_sent = 0
         self.local_bypasses = 0
+        #: request-lifecycle observer (repro.tools.observe.attach_observer);
+        #: None keeps every hook site at one identity check
+        self.observer = None
 
     # -- naming ------------------------------------------------------------------
 

@@ -183,6 +183,8 @@ class POA:
 
     def _handle(self, hdr: RequestHeader) -> None:
         ctx = self.ctx
+        obs = ctx.orb.observer
+        t0 = ctx.now() if obs is not None else 0.0
         record = self._lookup_record(hdr.object_name)
         is_root = True  # set properly below once the kind is known
         if record.kind == "spmd":
@@ -199,6 +201,10 @@ class POA:
             servant = record.servants[record.owner_rank]
 
         op = self._resolve_op(record.iface, hdr, servant)
+        if obs is not None:
+            # Covers the servant lookup and (on rank 0) the SPMD forward.
+            obs.span("dispatch", hdr.op, hdr.req_id, ctx.program.name,
+                     ctx.rank, t0, ctx.now())
         if op is None:
             if is_root:
                 self._send_reply(hdr, ReplyHeader(
@@ -207,6 +213,7 @@ class POA:
                 ))
             return
 
+        t_args0 = ctx.now() if obs is not None else 0.0
         try:
             args = self._collect_in_args(record, hdr, op)
         except Exception as exc:  # bad request: report, keep serving
@@ -214,7 +221,12 @@ class POA:
                 self._send_reply(hdr, ReplyHeader(
                     hdr.req_id, STATUS_SYS_EXC, exception=repr(exc)))
             return
+        if obs is not None:
+            obs.span("recv_args", op.name, hdr.req_id, ctx.program.name,
+                     ctx.rank, t_args0, ctx.now(),
+                     nbytes=len(hdr.scalar_args))
 
+        t_compute0 = ctx.now() if obs is not None else 0.0
         try:
             result = getattr(servant, op.name)(*args)
         except UserException as exc:
@@ -230,10 +242,18 @@ class POA:
                 self._send_reply(hdr, ReplyHeader(
                     hdr.req_id, STATUS_SYS_EXC, exception=repr(exc)))
             return
+        finally:
+            if obs is not None:
+                obs.span("compute", op.name, hdr.req_id, ctx.program.name,
+                         ctx.rank, t_compute0, ctx.now())
 
         if hdr.oneway:
             return
+        t_reply0 = ctx.now() if obs is not None else 0.0
         self._send_results(record, hdr, op, result)
+        if obs is not None:
+            obs.span("reply", op.name, hdr.req_id, ctx.program.name,
+                     ctx.rank, t_reply0, ctx.now())
 
     def _resolve_op(self, iface: InterfaceDef, hdr: RequestHeader,
                     servant) -> Optional[OpDef]:

@@ -86,6 +86,15 @@ class Simulation:
         ))
         self.orb.agent(host)  # ensure an agent exists on the server's host
 
+    # -- observability ----------------------------------------------------------------
+
+    def attach_observer(self, label: str = ""):
+        """Install a request-lifecycle observer (see
+        :mod:`repro.tools.observe`) on this simulation; returns it."""
+        from ..tools.observe import attach_observer
+
+        return attach_observer(self.world, label=label)
+
     # -- execution --------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:

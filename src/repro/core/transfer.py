@@ -18,6 +18,22 @@ import numpy as np
 from .distribution import Distribution, Interval
 
 
+#: Optional schedule observer (an object with ``on_schedule(nfragments,
+#: nelements)``), installed by repro.tools.observe.  ``None`` keeps
+#: schedule() at a single identity check.
+_OBSERVER = None
+
+
+def set_observer(obs) -> None:
+    """Install (or clear, with ``None``) the global schedule observer."""
+    global _OBSERVER
+    _OBSERVER = obs
+
+
+def get_observer():
+    return _OBSERVER
+
+
 @dataclass(frozen=True)
 class TransferItem:
     """One point-to-point fragment of a schedule."""
@@ -67,6 +83,8 @@ def schedule(src: Distribution, dst: Distribution) -> list[TransferItem]:
             common = _intersect(s_ivs, dst.intervals(d))
             if common:
                 items.append(TransferItem(s, d, common))
+    if _OBSERVER is not None:
+        _OBSERVER.on_schedule(len(items), sum(t.size for t in items))
     return items
 
 

@@ -26,9 +26,35 @@ from .fig5_pipeline import (
 )
 
 
+def _session(args):
+    """A TraceSession when ``--trace`` was given, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    from ..tools.observe import TraceSession
+
+    # Fail fast on an unwritable path rather than after the whole sweep.
+    try:
+        with open(args.trace, "w"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"--trace: cannot write {args.trace!r}: {exc}")
+
+    return TraceSession()
+
+
+def _finish_trace(args, session, out: str) -> str:
+    if session is None:
+        return out
+    session.write(args.trace)
+    return (out + "\n\n" + session.report()
+            + f"\n\nchrome trace written to {args.trace}")
+
+
 def _fig2(args) -> str:
+    session = _session(args)
     rows = run_fig2(sizes=tuple(args.sizes),
-                    client_np=args.client_np, solver_np=args.solver_np)
+                    client_np=args.client_np, solver_np=args.solver_np,
+                    session=session)
     out = format_table(
         rows, "Figure 2: solver metaapplication, execution time (virtual s)")
     if args.plot:
@@ -36,12 +62,13 @@ def _fig2(args) -> str:
             rows, "n",
             ["t_direct", "t_iterative", "t_distributed", "t_same_server"],
             title="Figure 2 (virtual s vs problem size)")
-    return out
+    return _finish_trace(args, session, out)
 
 
 def _fig4(args) -> str:
+    session = _session(args)
     rows = run_fig4(procs=tuple(args.procs), n_seqs=args.nseqs,
-                    rounds=args.rounds)
+                    rounds=args.rounds, session=session)
     out = format_table(
         rows, "Figure 4: centralized vs distributed single objects "
               "(virtual s, client perspective)")
@@ -52,20 +79,22 @@ def _fig4(args) -> str:
         out += "\n\n" + chart_rows(
             rows, "procs", ["difference"],
             title="Figure 4 right (difference, virtual s)")
-    return out
+    return _finish_trace(args, session, out)
 
 
 def _fig5(args) -> str:
+    session = _session(args)
     rows = run_fig5(procs=tuple(args.procs), steps=args.steps,
                     gradient_every=args.gradient_every, n=args.n,
-                    repeats=args.repeats, jitter=args.jitter)
+                    repeats=args.repeats, jitter=args.jitter,
+                    session=session)
     out = format_table(
         rows, "Figure 5: pipelined metaapplication vs components (virtual s)")
     if args.plot:
         out += "\n\n" + chart_rows(
             rows, "procs", ["t_overall", "t_diffusion", "t_gradient"],
             title="Figure 5 (virtual s vs processors)")
-    return out
+    return _finish_trace(args, session, out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ap.add_argument("--plot", action="store_true",
                     help="render ASCII charts of the series")
+    ap.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="record every request's lifecycle and write a "
+                         "Chrome-trace (chrome://tracing / Perfetto) JSON "
+                         "file, plus a latency/bytes report")
     sub = ap.add_subparsers(dest="figure", required=True)
 
     p2 = sub.add_parser("fig2", help="concurrent solvers (§4.1)")

@@ -69,9 +69,12 @@ def _client_main(ctx, n: int, iterative_host_2: bool, out: dict) -> None:
 
 
 def _run_config(n: int, iterative_host_2: bool, client_np: int,
-                solver_np: int) -> dict:
+                solver_np: int, session=None) -> dict:
     sim = Simulation(network=default_network(),
                      config=OrbConfig(max_outstanding=2))
+    if session is not None:
+        mode = "distributed" if iterative_host_2 else "same-server"
+        session.attach(sim, label=f"fig2 n={n} {mode}")
     probe: dict = {}
 
     def timed_direct(ctx):
@@ -137,14 +140,20 @@ def _timed_servant_factory(ctx, label: str, probe: dict, make):
 
 
 def run_fig2(sizes=PAPER_SIZES, client_np: int = 2,
-             solver_np: int = 2) -> list[Fig2Row]:
-    """Regenerate the Figure 2 series."""
+             solver_np: int = 2, session=None) -> list[Fig2Row]:
+    """Regenerate the Figure 2 series.
+
+    ``session`` (a :class:`repro.tools.observe.TraceSession`) attaches a
+    request-lifecycle observer to every simulation the sweep creates.
+    """
     rows = []
     for n in sizes:
         distributed = _run_config(n, iterative_host_2=True,
-                                  client_np=client_np, solver_np=solver_np)
+                                  client_np=client_np, solver_np=solver_np,
+                                  session=session)
         same = _run_config(n, iterative_host_2=False,
-                           client_np=client_np, solver_np=solver_np)
+                           client_np=client_np, solver_np=solver_np,
+                           session=session)
         rows.append(Fig2Row(
             n=n,
             t_direct=distributed["direct"],

@@ -77,10 +77,13 @@ def _client_main(ctx, query: str, rounds: int, out: dict) -> None:
 
 
 def run_one(procs: int, placement: str, n_seqs: int = DEFAULT_NSEQS,
-            query: str = DEFAULT_QUERY, rounds: int = MATCH_ROUNDS) -> float:
+            query: str = DEFAULT_QUERY, rounds: int = MATCH_ROUNDS,
+            session=None) -> float:
     """Client-perspective time of one search under one placement."""
     sim = Simulation(network=_network(max(PAPER_PROCS)),
                      config=OrbConfig(max_outstanding=1))
+    if session is not None:
+        session.attach(sim, label=f"fig4 p={procs} {placement}")
     sim.server(dna_server_main, host="SERVER", nprocs=procs,
                args=(n_seqs, query, placement), name=f"dna-{placement}")
     out: dict = {}
@@ -92,12 +95,12 @@ def run_one(procs: int, placement: str, n_seqs: int = DEFAULT_NSEQS,
 
 def run_fig4(procs=PAPER_PROCS, n_seqs: int = DEFAULT_NSEQS,
              query: str = DEFAULT_QUERY,
-             rounds: int = MATCH_ROUNDS) -> list[Fig4Row]:
+             rounds: int = MATCH_ROUNDS, session=None) -> list[Fig4Row]:
     """Regenerate both panels of Figure 4."""
     rows = []
     for p in procs:
-        cent = run_one(p, "centralized", n_seqs, query, rounds)
-        dist = run_one(p, "distributed", n_seqs, query, rounds)
+        cent = run_one(p, "centralized", n_seqs, query, rounds, session)
+        dist = run_one(p, "distributed", n_seqs, query, rounds, session)
         rows.append(Fig4Row(p, cent, dist, cent - dist))
     return rows
 

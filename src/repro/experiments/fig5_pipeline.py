@@ -75,9 +75,11 @@ def run_overall(procs: int, steps: int = PAPER_STEPS,
                 gradient_every: int = PAPER_GRADIENT_EVERY,
                 n: int = PIPELINE_N,
                 config: OrbConfig | None = None,
-                jitter: float = 0.0, seed: int = 0) -> float:
+                jitter: float = 0.0, seed: int = 0, session=None) -> float:
     """Full pipeline: diffusion (SGI PC) -> gradient (SP2) -> visualizers."""
     sim = _sim(config, jitter, seed)
+    if session is not None:
+        session.attach(sim, label=f"fig5 p={procs} overall seed={seed}")
     sim.server(visualizer_server_main, host="SGI_PC", nprocs=1,
                node_offset=9, args=("diff_visualizer",), name="viz-diff")
     sim.server(visualizer_server_main, host="INDY", nprocs=1,
@@ -94,9 +96,12 @@ def run_overall(procs: int, steps: int = PAPER_STEPS,
 
 def run_diffusion_alone(procs: int, steps: int = PAPER_STEPS,
                         n: int = PIPELINE_N,
-                        jitter: float = 0.0, seed: int = 0) -> float:
+                        jitter: float = 0.0, seed: int = 0,
+                        session=None) -> float:
     """The diffusion component with its visualizer but no gradient."""
     sim = _sim(jitter=jitter, seed=seed)
+    if session is not None:
+        session.attach(sim, label=f"fig5 p={procs} diffusion seed={seed}")
     sim.server(visualizer_server_main, host="SGI_PC", nprocs=1,
                node_offset=9, args=("diff_visualizer",), name="viz-diff")
     reports: dict = {}
@@ -111,13 +116,16 @@ def run_gradient_alone(procs: int, requests: int | None = None,
                        steps: int = PAPER_STEPS,
                        gradient_every: int = PAPER_GRADIENT_EVERY,
                        n: int = PIPELINE_N,
-                       jitter: float = 0.0, seed: int = 0) -> float:
+                       jitter: float = 0.0, seed: int = 0,
+                       session=None) -> float:
     """The gradient component alone: the same number of gradient requests
     the pipeline issues (field transfer + compute + its visualizer),
     driven back to back from the SGI PC."""
     if requests is None:
         requests = steps // gradient_every
     sim = _sim(jitter=jitter, seed=seed)
+    if session is not None:
+        session.attach(sim, label=f"fig5 p={procs} gradient seed={seed}")
     sim.server(visualizer_server_main, host="INDY", nprocs=1,
                args=("grad_visualizer",), name="viz-grad")
     sim.server(gradient_server_main, host="SP2", nprocs=procs,
@@ -141,7 +149,7 @@ def run_gradient_alone(procs: int, requests: int | None = None,
 def run_fig5(procs=PAPER_PROCS, steps: int = PAPER_STEPS,
              gradient_every: int = PAPER_GRADIENT_EVERY,
              n: int = PIPELINE_N, repeats: int = 1,
-             jitter: float = 0.0) -> list[Fig5Row]:
+             jitter: float = 0.0, session=None) -> list[Fig5Row]:
     """Regenerate the Figure 5 series ("in each case shown the number of
     processors of the diffusion application was matching the number of
     processors of the gradient computation").
@@ -160,11 +168,12 @@ def run_fig5(procs=PAPER_PROCS, steps: int = PAPER_STEPS,
         rows.append(Fig5Row(
             procs=p,
             t_overall=mean(lambda s: run_overall(
-                p, steps, gradient_every, n, jitter=jitter, seed=s)),
+                p, steps, gradient_every, n, jitter=jitter, seed=s,
+                session=session)),
             t_diffusion=mean(lambda s: run_diffusion_alone(
-                p, steps, n, jitter=jitter, seed=s)),
+                p, steps, n, jitter=jitter, seed=s, session=session)),
             t_gradient=mean(lambda s: run_gradient_alone(
                 p, steps=steps, gradient_every=gradient_every, n=n,
-                jitter=jitter, seed=s)),
+                jitter=jitter, seed=s, session=session)),
         ))
     return rows

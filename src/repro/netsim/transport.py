@@ -147,6 +147,9 @@ class Transport:
         #: optional observer called with every delivered Packet
         #: (see repro.tools.trace.attach_tracer)
         self.on_send = None
+        #: additional packet observers (see repro.tools.observe); an empty
+        #: list keeps the send path at one truthiness check
+        self.observers: list = []
 
     def open(self, address: Address) -> Endpoint:
         """Create (or return) the endpoint bound to ``address``."""
@@ -190,6 +193,9 @@ class Transport:
         self.bytes_sent += n
         if self.on_send is not None:
             self.on_send(pkt)
+        if self.observers:
+            for cb in self.observers:
+                cb(pkt)
         if not oneway:
             self.kernel.sleep_until(injection_done)
         return pkt

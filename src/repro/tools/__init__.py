@@ -1,7 +1,16 @@
-"""Operator tooling: packet tracing, timelines, summaries."""
+"""Operator tooling: packet tracing, lifecycle observation, summaries."""
 
 from .metrics import ComputeMeter, attach_meter
+from .observe import (
+    RequestObserver,
+    Span,
+    TraceSession,
+    attach_observer,
+    detach_observer,
+    validate_chrome_trace,
+)
 from .trace import PacketTrace, TraceRecord, attach_tracer
 
-__all__ = ["ComputeMeter", "PacketTrace", "TraceRecord", "attach_meter",
-           "attach_tracer"]
+__all__ = ["ComputeMeter", "PacketTrace", "RequestObserver", "Span",
+           "TraceRecord", "TraceSession", "attach_meter", "attach_observer",
+           "attach_tracer", "detach_observer", "validate_chrome_trace"]

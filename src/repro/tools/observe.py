@@ -1,0 +1,455 @@
+"""Request-lifecycle observability for PARDIS deployments.
+
+The paper's evaluation (Figs. 2-5) was produced by hand-instrumenting
+stubs and skeletons; this module builds that measurement into the ORB.
+A :class:`RequestObserver` attached to a world records a :class:`Span`
+for every phase of every invocation:
+
+========== ======= ====================================================
+phase      side    covers
+========== ======= ====================================================
+marshal    client  scalar in-argument CDR encoding + header construction
+send       client  request header + argument-fragment injection
+wait       client  blocking on the reply header / result fragments
+unmarshal  client  reply decode and result-fragment insertion
+local      client  a bypassed (same-program) invocation (§4.1)
+dispatch   server  servant lookup, SPMD forwarding, operation resolution
+recv_args  server  argument-fragment collection and decode
+compute    server  the servant method itself
+reply      server  reply header + result-fragment injection
+========== ======= ====================================================
+
+The observer also owns a :class:`~repro.tools.trace.PacketTrace` (every
+packet the transport moves), global CDR byte counters fed by the
+encoder/decoder, transfer-schedule counters, and — when a
+:class:`~repro.tools.metrics.ComputeMeter` is attached to the same world
+— per-node compute utilization.  One ``world.services["observer"]``
+object therefore answers "where did this request spend its time".
+
+Instrumentation is **off by default**: every hook site in the ORB guards
+on ``observer is not None`` (one attribute load + identity check), so the
+hot paths the benchmarks measure are unaffected until
+:func:`attach_observer` is called.
+
+Exports: Chrome-trace JSON (load ``chrome://tracing`` or
+https://ui.perfetto.dev) via :meth:`RequestObserver.chrome_trace`, and a
+text report of per-operation latency percentiles and byte counts via
+:meth:`RequestObserver.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from .metrics import ComputeMeter
+from .trace import PacketTrace
+
+__all__ = [
+    "Span",
+    "RequestObserver",
+    "TraceSession",
+    "attach_observer",
+    "detach_observer",
+    "validate_chrome_trace",
+    "CLIENT_PHASES",
+    "SERVER_PHASES",
+    "PHASES",
+]
+
+CLIENT_PHASES = ("marshal", "send", "wait", "unmarshal", "local")
+SERVER_PHASES = ("dispatch", "recv_args", "compute", "reply")
+PHASES = CLIENT_PHASES + SERVER_PHASES
+
+#: phase -> side, used as the Chrome-trace event category
+PHASE_SIDE = {p: "client" for p in CLIENT_PHASES}
+PHASE_SIDE.update({p: "server" for p in SERVER_PHASES})
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded phase of one request on one computing thread.
+
+    Times are virtual seconds; ``req`` is the stringified request id
+    (``"local"`` for bypassed invocations, which have none).
+    """
+
+    phase: str
+    op: str
+    req: str
+    program: str
+    rank: int
+    t0: float
+    t1: float
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def side(self) -> str:
+        return PHASE_SIDE.get(self.phase, "other")
+
+
+def _percentile(sorted_vals: list, q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    pos = (len(sorted_vals) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return sorted_vals[lo] * (1 - frac) + sorted_vals[hi] * frac
+
+
+class RequestObserver:
+    """Recorder of every request's end-to-end lifecycle in one world."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.spans: list[Span] = []
+        #: (req, program, rank) -> [op, t_start, t_end|None, status]
+        self.requests: dict[tuple, list] = {}
+        self.packet_trace = PacketTrace()
+        self.meter: Optional[ComputeMeter] = None
+        #: global CDR stream bytes (fed by the encoder/decoder hook)
+        self.cdr_bytes = {"encoded": 0, "decoded": 0}
+        #: transfer-schedule counters (fed by repro.core.transfer)
+        self.transfer = {"schedules": 0, "fragments": 0, "elements": 0}
+
+    # -- recording (hot path; called only when an observer is attached) ----
+
+    def span(self, phase: str, op: str, req, program: str, rank: int,
+             t0: float, t1: float, nbytes: int = 0) -> None:
+        self.spans.append(Span(phase, op, str(req), program, rank,
+                               t0, t1, nbytes))
+
+    def request_started(self, req, op: str, program: str, rank: int,
+                        t0: float) -> None:
+        self.requests[(str(req), program, rank)] = [op, t0, None, "pending"]
+
+    def request_finished(self, req, program: str, rank: int, t1: float,
+                         status: str = "ok") -> None:
+        rec = self.requests.get((str(req), program, rank))
+        if rec is not None:
+            rec[2] = t1
+            rec[3] = status
+
+    # -- CDR marshal-meter protocol (repro.cdr.encoder.set_marshal_meter) --
+
+    def on_encode(self, nbytes: int) -> None:
+        self.cdr_bytes["encoded"] += nbytes
+
+    def on_decode(self, nbytes: int) -> None:
+        self.cdr_bytes["decoded"] += nbytes
+
+    # -- transfer-schedule hook (repro.core.transfer.set_observer) ---------
+
+    def on_schedule(self, nfragments: int, nelements: int) -> None:
+        self.transfer["schedules"] += 1
+        self.transfer["fragments"] += nfragments
+        self.transfer["elements"] += nelements
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_phase(self, phase: str) -> list[Span]:
+        return [s for s in self.spans if s.phase == phase]
+
+    def by_op(self, op: str) -> list[Span]:
+        return [s for s in self.spans if s.op == op]
+
+    def operations(self) -> list[str]:
+        return sorted({s.op for s in self.spans})
+
+    def phase_durations(self, phase: str, op: Optional[str] = None) -> list:
+        return sorted(s.duration for s in self.spans
+                      if s.phase == phase and (op is None or s.op == op))
+
+    def phase_histogram(self, phase: str, op: Optional[str] = None,
+                        bins: int = 10):
+        """(counts, edges) histogram of a phase's virtual-time latencies."""
+        import numpy as np
+
+        durs = self.phase_durations(phase, op)
+        return np.histogram(np.asarray(durs if durs else [0.0]), bins=bins)
+
+    def request_breakdown(self, req) -> dict[str, float]:
+        """Total virtual seconds per phase for one request — the answer to
+        "where did this request spend its time"."""
+        req = str(req)
+        out: dict[str, float] = {}
+        for s in self.spans:
+            if s.req == req:
+                out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        return out
+
+    def bytes_by_op(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.spans:
+            out[s.op] = out.get(s.op, 0) + s.nbytes
+        return out
+
+    def completed_requests(self) -> list[tuple]:
+        """[(req, program, rank, op, latency), ...] for finished requests."""
+        return [(req, prog, rank, op, t1 - t0)
+                for (req, prog, rank), (op, t0, t1, _status)
+                in self.requests.items() if t1 is not None]
+
+    # -- Chrome-trace export ----------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The recorded lifecycle as a Chrome-trace (``chrome://tracing``
+        / Perfetto) JSON object."""
+        return {"traceEvents": self._chrome_events(pid_base=1),
+                "displayTimeUnit": "ms"}
+
+    def _chrome_events(self, pid_base: int) -> list[dict]:
+        events: list[dict] = []
+        pids: dict[str, int] = {}
+
+        def pid_of(name: str) -> int:
+            pid = pids.get(name)
+            if pid is None:
+                pid = pids[name] = pid_base + len(pids)
+                shown = f"{self.label}: {name}" if self.label else name
+                events.append({"name": "process_name", "ph": "M", "pid": pid,
+                               "tid": 0, "args": {"name": shown}})
+            return pid
+
+        for s in self.spans:
+            events.append({
+                "name": f"{s.phase} {s.op}",
+                "cat": s.side,
+                "ph": "X",
+                "ts": s.t0 * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": pid_of(s.program),
+                "tid": s.rank,
+                "args": {"op": s.op, "req": s.req, "bytes": s.nbytes},
+            })
+        for (req, prog, rank), (op, t0, t1, status) in self.requests.items():
+            if t1 is None:
+                continue
+            pid = pid_of(prog)
+            common = {"cat": "request", "id": req, "pid": pid, "tid": rank}
+            events.append({"name": f"request {op}", "ph": "b",
+                           "ts": t0 * 1e6,
+                           "args": {"op": op, "status": status}, **common})
+            events.append({"name": f"request {op}", "ph": "e",
+                           "ts": t1 * 1e6, "args": {}, **common})
+        net_pid = pid_of("network")
+        link_tids: dict[tuple, int] = {}
+        for r in self.packet_trace.records:
+            link = (r.src.split(":")[0], r.dst.split(":")[0])
+            tid = link_tids.get(link)
+            if tid is None:
+                tid = link_tids[link] = len(link_tids)
+                events.append({"name": "thread_name", "ph": "M",
+                               "pid": net_pid, "tid": tid,
+                               "args": {"name": f"{link[0]} -> {link[1]}"}})
+            events.append({
+                "name": r.kind,
+                "cat": "transport",
+                "ph": "X",
+                "ts": r.send_time * 1e6,
+                "dur": (r.arrival - r.send_time) * 1e6,
+                "pid": net_pid,
+                "tid": tid,
+                "args": {"src": r.src, "dst": r.dst, "bytes": r.nbytes,
+                         "tag": r.tag},
+            })
+        return events
+
+    # -- text report -------------------------------------------------------
+
+    def report(self) -> str:
+        lines = []
+        title = "request-lifecycle report"
+        if self.label:
+            title += f" [{self.label}]"
+        lines.append(title)
+
+        done = self.completed_requests()
+        npending = sum(1 for rec in self.requests.values() if rec[2] is None)
+        nfailed = sum(1 for rec in self.requests.values()
+                      if rec[3] not in ("ok", "oneway", "pending"))
+        lines.append(f"  requests: {len(self.requests)} issued, "
+                     f"{len(done)} finished, {npending} pending, "
+                     f"{nfailed} failed")
+
+        lines.append("  per-operation end-to-end latency (virtual s):")
+        lines.append(f"  {'operation':>20} {'count':>6} {'p50':>10} "
+                     f"{'p90':>10} {'p99':>10} {'max':>10}")
+        per_op: dict[str, list] = {}
+        for _req, _prog, _rank, op, lat in done:
+            per_op.setdefault(op, []).append(lat)
+        for op in sorted(per_op):
+            lat = sorted(per_op[op])
+            lines.append(
+                f"  {op:>20} {len(lat):6d} {_percentile(lat, .5):10.6f} "
+                f"{_percentile(lat, .9):10.6f} {_percentile(lat, .99):10.6f} "
+                f"{lat[-1]:10.6f}"
+            )
+
+        lines.append("  per-operation phase latency (virtual s) and bytes:")
+        lines.append(f"  {'operation':>20} {'phase':>10} {'count':>6} "
+                     f"{'p50':>10} {'p99':>10} {'max':>10} {'bytes':>10}")
+        keys = sorted({(s.op, s.phase) for s in self.spans},
+                      key=lambda k: (k[0], PHASES.index(k[1])
+                                     if k[1] in PHASES else 99))
+        for op, phase in keys:
+            durs = sorted(s.duration for s in self.spans
+                          if s.op == op and s.phase == phase)
+            nbytes = sum(s.nbytes for s in self.spans
+                         if s.op == op and s.phase == phase)
+            lines.append(
+                f"  {op:>20} {phase:>10} {len(durs):6d} "
+                f"{_percentile(durs, .5):10.6f} "
+                f"{_percentile(durs, .99):10.6f} "
+                f"{durs[-1] if durs else 0.0:10.6f} {nbytes:10d}"
+            )
+
+        lines.append(f"  cdr streams: {self.cdr_bytes['encoded']} bytes "
+                     f"encoded, {self.cdr_bytes['decoded']} bytes decoded")
+        lines.append(f"  transfer schedules: {self.transfer['schedules']} "
+                     f"({self.transfer['fragments']} fragments, "
+                     f"{self.transfer['elements']} elements)")
+        if len(self.packet_trace):
+            lines.append("  " + self.packet_trace.summary()
+                         .replace("\n", "\n  "))
+        if self.meter is not None and self.meter.busy:
+            elapsed = max((s.t1 for s in self.spans), default=0.0)
+            if elapsed > 0:
+                lines.append("  " + self.meter.report(elapsed)
+                             .replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Attachment
+# ---------------------------------------------------------------------------
+
+
+def attach_observer(world, label: str = "") -> RequestObserver:
+    """Install a :class:`RequestObserver` on a world (before ``run()``).
+
+    Registers it as ``world.services["observer"]``, points the ORB's hook
+    sites at it, subscribes its packet trace to the transport, installs
+    the CDR byte meter and the transfer-schedule hook, and picks up a
+    previously attached :class:`ComputeMeter` if one exists.
+    """
+    from ..cdr.encoder import set_marshal_meter
+    from ..core import transfer as _transfer
+
+    obs = RequestObserver(label=label)
+    world.services["observer"] = obs
+    orb = world.services.get("orb")
+    if orb is not None:
+        orb.observer = obs
+    world.transport.observers.append(obs.packet_trace)
+    obs.meter = world.services.get("compute_meter")
+    set_marshal_meter(obs)
+    _transfer.set_observer(obs)
+    return obs
+
+
+def detach_observer(world) -> Optional[RequestObserver]:
+    """Undo :func:`attach_observer`; returns the removed observer."""
+    from ..cdr.encoder import get_marshal_meter, set_marshal_meter
+    from ..core import transfer as _transfer
+
+    obs = world.services.pop("observer", None)
+    if obs is None:
+        return None
+    orb = world.services.get("orb")
+    if orb is not None and orb.observer is obs:
+        orb.observer = None
+    try:
+        world.transport.observers.remove(obs.packet_trace)
+    except ValueError:
+        pass
+    if get_marshal_meter() is obs:
+        set_marshal_meter(None)
+    if _transfer.get_observer() is obs:
+        _transfer.set_observer(None)
+    return obs
+
+
+# ---------------------------------------------------------------------------
+# Multi-run sessions (the experiment drivers build one Simulation per point)
+# ---------------------------------------------------------------------------
+
+
+class TraceSession:
+    """Collects observers across several simulation runs and merges them
+    into one Chrome trace / report (used by ``--trace`` in the CLI)."""
+
+    def __init__(self) -> None:
+        self.runs: list[RequestObserver] = []
+
+    def attach(self, sim, label: str = "") -> RequestObserver:
+        obs = attach_observer(sim.world, label=label)
+        self.runs.append(obs)
+        return obs
+
+    def chrome_trace(self) -> dict:
+        events: list[dict] = []
+        for i, obs in enumerate(self.runs):
+            events.extend(obs._chrome_events(pid_base=1 + i * 1000))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def report(self) -> str:
+        return "\n\n".join(obs.report() for obs in self.runs)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (make trace-demo / CI)
+# ---------------------------------------------------------------------------
+
+
+def validate_chrome_trace(obj: Any,
+                          require_phases: Iterable[str] = ()) -> int:
+    """Check a Chrome-trace JSON object's schema; returns the event count.
+
+    Raises ``ValueError`` on malformed traces.  ``require_phases`` lists
+    span phases (e.g. ``("marshal", "compute")``) that must each appear in
+    at least one duration event.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    seen_phases: set[str] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                raise ValueError(f"event {i} is missing {key!r}")
+        ph = ev["ph"]
+        if ph not in ("X", "M", "b", "e", "i"):
+            raise ValueError(f"event {i} has unknown phase type {ph!r}")
+        if ph != "M" and "ts" not in ev:
+            raise ValueError(f"event {i} ({ph}) is missing 'ts'")
+        if ph == "X":
+            if "dur" not in ev or ev["dur"] < 0:
+                raise ValueError(f"event {i} needs a non-negative 'dur'")
+            seen_phases.add(ev["name"].split(" ", 1)[0])
+            if ev.get("cat") == "transport":
+                seen_phases.add("transport")
+    missing = set(require_phases) - seen_phases
+    if missing:
+        raise ValueError(f"trace has no spans for phases: {sorted(missing)}")
+    return len(events)

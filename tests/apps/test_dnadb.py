@@ -146,7 +146,9 @@ class TestServerEndToEnd:
         sim.client(client, host="C", nprocs=1)
         sim.run()
         mod = dna_stubs()
-        assert out["status"] == mod.status.SEARCH_DONE
+        # enum results decode to the member name
+        assert out["status"] == mod.status.SEARCH_DONE.name
+        assert mod.status[out["status"]] is mod.status.SEARCH_DONE
         total = sum(len(v) for v in out["lists"].values())
         assert total > 0
 

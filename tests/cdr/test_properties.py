@@ -88,8 +88,19 @@ def test_struct_roundtrip(flags, n, label):
 
 @given(st.integers(0, 4))
 def test_enum_roundtrip(idx):
+    # Decoding canonicalizes to the member name whether the value was
+    # encoded by index or by name.
     tc = EnumTC("e", ("A", "B", "C", "D", "E"))
-    assert decode(tc, encode(tc, idx)) == idx
+    assert decode(tc, encode(tc, idx)) == tc.members[idx]
+    assert decode(tc, encode(tc, tc.members[idx])) == tc.members[idx]
+
+
+@given(st.integers(0, 2), st.integers(-1000, 1000))
+def test_enum_in_struct_roundtrip(idx, n):
+    mood = EnumTC("mood", ("HAPPY", "GRUMPY", "SLEEPY"))
+    tc = StructTC("tagged", (("state", mood), ("n", TC_LONG)))
+    out = decode(tc, encode(tc, {"state": idx, "n": n}))
+    assert out == {"state": mood.members[idx], "n": n}
 
 
 @given(st.lists(finite_doubles, min_size=1, max_size=100))

@@ -162,12 +162,43 @@ class TestSequences:
         with pytest.raises(MarshalError):
             encode(SequenceTC(TC_DOUBLE), np.zeros((2, 2)))
 
+    def test_ndarray_of_structs_takes_element_path(self):
+        """An ndarray input must only take the numpy bulk path for numeric
+        primitive elements; an object array of structs encodes
+        element-wise (this used to crash in put_bulk)."""
+        inner = StructTC("inner", (("v", TC_LONG),))
+        tc = SequenceTC(inner)
+        vals = np.array([{"v": 1}, {"v": 2}], dtype=object)
+        assert decode(tc, encode(tc, vals)) == [{"v": 1}, {"v": 2}]
+
+    def test_ndarray_of_strings_takes_element_path(self):
+        tc = SequenceTC(StringTC())
+        vals = np.array(["a", "bc"], dtype=object)
+        assert decode(tc, encode(tc, vals)) == ["a", "bc"]
+
+    def test_ndarray_of_wrong_elements_raises_marshal_error(self):
+        inner = StructTC("inner", (("v", TC_LONG),))
+        with pytest.raises(MarshalError):
+            encode(SequenceTC(inner), np.arange(3, dtype=float))
+
+    def test_ndarray_bound_still_enforced_on_element_path(self):
+        tc = SequenceTC(StringTC(), bound=1)
+        with pytest.raises(MarshalError):
+            encode(tc, np.array(["a", "b"], dtype=object))
+
 
 class TestEnums:
     def test_roundtrip_by_index_and_name(self):
+        # Either input form decodes to the canonical member name.
         tc = EnumTC("status", ("OK", "PENDING", "FAILED"))
-        assert decode(tc, encode(tc, 2)) == 2
-        assert decode(tc, encode(tc, "PENDING")) == 1
+        assert decode(tc, encode(tc, 2)) == "FAILED"
+        assert decode(tc, encode(tc, "PENDING")) == "PENDING"
+
+    def test_bad_index_on_the_wire_rejected(self):
+        tc = EnumTC("status", ("OK", "PENDING"))
+        wide = EnumTC("wider", ("A", "B", "C", "D", "E"))
+        with pytest.raises(MarshalError):
+            decode(tc, encode(wide, 4))
 
     def test_unknown_member_rejected(self):
         tc = EnumTC("status", ("OK",))

@@ -86,7 +86,7 @@ class TestEchoMatrix:
     def test_enum(self, world):
         mod = world.mod
         [(r, o)] = world([("f_enum", mod.mood.GRUMPY)])
-        assert r == o == 1
+        assert r == o == "GRUMPY"
 
     def test_struct(self, world):
         mod = world.mod

@@ -56,6 +56,42 @@ class TestResolution:
         f._resolve(7)
         assert f.wait() is f
 
+    def test_wait_blocks_via_progress(self):
+        f = Future()
+
+        def progress(block):
+            if block:
+                f._resolve("late")
+
+        f._bind(progress)
+        assert f.wait() is f
+        assert f.value() == "late"
+
+    def test_double_resolve_rejected(self):
+        f = Future(label="R")
+        f._resolve(1)
+        with pytest.raises(FutureError, match="already settled"):
+            f._resolve(2)
+        assert f.value() == 1
+
+    def test_double_fail_rejected(self):
+        f = Future()
+        f._fail(ValueError("first"))
+        with pytest.raises(FutureError, match="already settled"):
+            f._fail(ValueError("second"))
+
+    def test_resolve_after_fail_rejected(self):
+        f = Future()
+        f._fail(RuntimeError("no"))
+        with pytest.raises(FutureError, match="already settled"):
+            f._resolve(1)
+
+    def test_fail_after_resolve_rejected(self):
+        f = Future()
+        f._resolve(1)
+        with pytest.raises(FutureError, match="already settled"):
+            f._fail(RuntimeError("no"))
+
 
 class TestBinding:
     def test_progress_called_on_poll(self):

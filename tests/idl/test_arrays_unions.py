@@ -84,9 +84,18 @@ class TestUnionTypeCode:
             encode(self.TC, 42)
 
     def test_enum_discriminator(self):
+        # An enum discriminator decodes to its member name (and a name may
+        # be used when encoding, too).
         color = EnumTC("color", ("RED", "GREEN"))
         tc = UnionTC("cv", color, ((0, "r", TC_DOUBLE), (1, "g", TC_LONG)))
-        assert decode(tc, encode(tc, (0, 1.5))) == (0, 1.5)
+        assert decode(tc, encode(tc, (0, 1.5))) == ("RED", 1.5)
+        assert decode(tc, encode(tc, ("GREEN", 7))) == ("GREEN", 7)
+
+    def test_enum_carried_in_union_arm(self):
+        mood = EnumTC("mood", ("HAPPY", "GRUMPY"))
+        tc = UnionTC("mv", TC_LONG, ((0, "m", mood), (1, "n", TC_LONG)))
+        assert decode(tc, encode(tc, (0, "GRUMPY"))) == (0, "GRUMPY")
+        assert decode(tc, encode(tc, (0, 0))) == (0, "HAPPY")
 
 
 class TestIdlArrays:
@@ -168,9 +177,9 @@ class TestIdlUnions:
     def test_union_in_generated_module(self):
         mod = compile_idl(self.IDL, module_name="union_stubs")
         tc = mod.value
-        assert decode(tc, encode(tc, (0, 41))) == (0, 41)
-        assert decode(tc, encode(tc, (1, "x"))) == (1, "x")
-        assert decode(tc, encode(tc, (2, 2.5))) == (2, 2.5)
+        assert decode(tc, encode(tc, (0, 41))) == ("INT_KIND", 41)
+        assert decode(tc, encode(tc, (1, "x"))) == ("TEXT_KIND", "x")
+        assert decode(tc, encode(tc, (2, 2.5))) == ("REAL_KIND", 2.5)
 
     def test_union_usable_in_operation(self):
         from repro.core import Simulation
@@ -197,7 +206,8 @@ class TestIdlUnions:
 
         sim.client(client, host="HOST_1")
         sim.run()
-        assert out["vals"] == [(0, 10), (1, "ten"), (2, 10.0)]
+        assert out["vals"] == [("INT_KIND", 10), ("TEXT_KIND", "ten"),
+                               ("REAL_KIND", 10.0)]
 
     def test_duplicate_case_label_rejected(self):
         with pytest.raises(IdlSemanticError, match="duplicate case"):

@@ -1,0 +1,222 @@
+"""End-to-end tests for the request-lifecycle observability layer."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.encoder import get_marshal_meter
+from repro.core import Simulation
+from repro.core import transfer as _transfer
+from repro.idl import compile_idl
+from repro.tools import (
+    RequestObserver,
+    TraceSession,
+    attach_observer,
+    detach_observer,
+    validate_chrome_trace,
+)
+from repro.tools.observe import CLIENT_PHASES, SERVER_PHASES
+
+IDL = """
+    typedef dsequence<double> vec;
+    interface stats {
+        double total(in vec xs);
+        oneway void note(in long x);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="observe_stubs")
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    """The observer installs process-global hooks; never leak them."""
+    yield
+    from repro.cdr.encoder import set_marshal_meter
+
+    set_marshal_meter(None)
+    _transfer.set_observer(None)
+
+
+def run_observed(mod, nprocs=2, requests=3):
+    sim = Simulation()
+    obs = sim.attach_observer(label="t")
+
+    def server_main(ctx):
+        class Impl(mod.stats_skel):
+            def total(self, xs):
+                ctx.compute(1e-3)
+                return float(np.sum(np.asarray(xs.owned_data)))
+
+            def note(self, x):
+                pass
+
+        ctx.poa.activate(Impl(), "stats", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    # One server thread holds the whole sequence, so ``total`` is global;
+    # two client threads still exercise the fragment paths.
+    sim.server(server_main, host="HOST_2", nprocs=1, name="stats-server")
+    out = {}
+
+    def client_main(ctx):
+        s = mod.stats._spmd_bind("stats")
+        data = ctx.dseq(np.arange(16.0))
+        s.note(7)
+        out["totals"] = [s.total(data) for _ in range(requests)]
+
+    sim.client(client_main, host="HOST_1", nprocs=nprocs, name="stats-client")
+    sim.run()
+    return sim, obs, out
+
+
+class TestObserverEndToEnd:
+    def test_every_lifecycle_phase_recorded(self, mod):
+        _sim, obs, out = run_observed(mod)
+        assert out["totals"] == [120.0] * 3
+        phases = {s.phase for s in obs.spans}
+        for phase in ("marshal", "send", "wait", "unmarshal",
+                      "dispatch", "recv_args", "compute", "reply"):
+            assert phase in phases, f"no {phase} span recorded"
+        for s in obs.spans:
+            assert s.t1 >= s.t0
+            assert s.side in ("client", "server")
+
+    def test_requests_tracked_to_completion(self, mod):
+        _sim, obs, _out = run_observed(mod, requests=2)
+        done = obs.completed_requests()
+        ops = {op for (_r, _p, _rk, op, _lat) in done}
+        assert "total" in ops and "note" in ops
+        assert all(lat >= 0 for (*_x, lat) in done)
+        # Every issued request reached a terminal state.
+        assert all(rec[2] is not None for rec in obs.requests.values())
+        statuses = {rec[3] for rec in obs.requests.values()}
+        assert statuses <= {"ok", "oneway"}
+
+    def test_breakdown_answers_where_time_went(self, mod):
+        _sim, obs, _out = run_observed(mod, requests=1)
+        req = next(r for (r, _p, _rk, op, _l) in obs.completed_requests()
+                   if op == "total")
+        breakdown = obs.request_breakdown(req)
+        assert "wait" in breakdown and "compute" in breakdown
+        # the servant charges 1 ms of virtual compute per call
+        assert breakdown["compute"] >= 1e-3
+        # the client's wait covers at least the server's compute
+        assert breakdown["wait"] >= breakdown["compute"] / 2
+
+    def test_byte_and_transfer_counters(self, mod):
+        _sim, obs, _out = run_observed(mod)
+        assert obs.cdr_bytes["encoded"] > 0
+        assert obs.cdr_bytes["decoded"] > 0
+        assert obs.transfer["schedules"] > 0
+        assert obs.transfer["elements"] > 0
+        assert len(obs.packet_trace) > 0
+        assert obs.bytes_by_op().get("total", 0) > 0
+
+    def test_chrome_trace_valid_and_complete(self, mod):
+        _sim, obs, _out = run_observed(mod)
+        trace = obs.chrome_trace()
+        n = validate_chrome_trace(
+            trace, require_phases=("marshal", "send", "wait", "unmarshal",
+                                   "dispatch", "recv_args", "compute",
+                                   "reply", "transport"))
+        assert n == len(trace["traceEvents"])
+        import json
+
+        json.dumps(trace)  # must be serializable as-is
+
+    def test_report_mentions_ops_and_percentiles(self, mod):
+        _sim, obs, _out = run_observed(mod)
+        text = obs.report()
+        assert "total" in text
+        assert "p50" in text and "p99" in text
+        assert "requests:" in text
+        assert "cdr streams:" in text
+
+    def test_detach_restores_globals(self, mod):
+        sim, obs, _out = run_observed(mod)
+        assert get_marshal_meter() is obs
+        assert _transfer.get_observer() is obs
+        removed = detach_observer(sim.world)
+        assert removed is obs
+        assert sim.orb.observer is None
+        assert get_marshal_meter() is None
+        assert _transfer.get_observer() is None
+        assert obs.packet_trace not in sim.world.transport.observers
+
+
+class TestDisabledByDefault:
+    def test_no_observer_without_attach(self, mod):
+        sim = Simulation()
+        assert sim.orb.observer is None
+        assert sim.world.transport.observers == []
+        assert get_marshal_meter() is None
+        assert _transfer.get_observer() is None
+
+    def test_run_unobserved_records_nothing(self, mod):
+        sim = Simulation()
+
+        def server_main(ctx):
+            class Impl(mod.stats_skel):
+                def total(self, xs):
+                    return 0.0
+
+                def note(self, x):
+                    pass
+
+            ctx.poa.activate(Impl(), "stats", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+
+        def client_main(ctx):
+            s = mod.stats._spmd_bind("stats")
+            s.total(ctx.dseq(np.arange(4.0)))
+
+        sim.client(client_main, host="HOST_1", nprocs=1)
+        sim.run()  # nothing to assert beyond: no observer, no crash
+
+
+class TestTraceSession:
+    def test_merged_runs_get_distinct_pids(self):
+        session = TraceSession()
+        for i in range(2):
+            obs = RequestObserver(label=f"run{i}")
+            obs.span("marshal", "op", f"r{i}", "prog", 0, 0.0, 1e-6)
+            session.runs.append(obs)
+        trace = session.chrome_trace()
+        validate_chrome_trace(trace, require_phases=("marshal",))
+        pids = {ev["pid"] for ev in trace["traceEvents"]}
+        assert len(pids) >= 2
+
+    def test_write_and_reload(self, tmp_path):
+        session = TraceSession()
+        obs = RequestObserver()
+        obs.span("compute", "op", "r", "prog", 0, 0.0, 2.0)
+        session.runs.append(obs)
+        path = tmp_path / "trace.json"
+        session.write(str(path))
+        import json
+
+        reloaded = json.loads(path.read_text())
+        assert validate_chrome_trace(reloaded,
+                                     require_phases=("compute",)) > 0
+
+
+class TestValidation:
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "ts": 0.0}]})
+        with pytest.raises(ValueError, match="no spans"):
+            validate_chrome_trace({"traceEvents": []},
+                                  require_phases=("compute",))
+
+    def test_phase_lists_cover_span_sites(self):
+        assert set(CLIENT_PHASES) & set(SERVER_PHASES) == set()
