@@ -24,6 +24,16 @@ from .futures import Future
 from .interfacedef import AttrDef, InterfaceDef, OpDef, ParamDef
 from .invocation import Binding
 from .orb import ORB, ActivationAgent, OrbConfig, PardisContext
+from .pipeline import (
+    DEADLINE_CONTEXT,
+    DeadlineExpired,
+    DeadlineInterceptor,
+    FaultInjectionInterceptor,
+    FaultRule,
+    FragmentCourier,
+    InterceptorChain,
+    RequestInterceptor,
+)
 from .poa import POA, ServantRecord
 from .repository import (
     ActivationRecord,
@@ -46,10 +56,18 @@ __all__ = [
     "Binding",
     "BindingError",
     "CollectiveMismatch",
+    "DEADLINE_CONTEXT",
+    "DeadlineExpired",
+    "DeadlineInterceptor",
     "Distribution",
     "DistributedSequence",
+    "FaultInjectionInterceptor",
+    "FaultRule",
+    "FragmentCourier",
     "Future",
     "FutureError",
+    "InterceptorChain",
+    "RequestInterceptor",
     "ImplementationRepository",
     "InterfaceDef",
     "NonLocalAccess",

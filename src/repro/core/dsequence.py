@@ -20,14 +20,10 @@ from ..cdr import (
     SequenceTC,
     TC_DOUBLE,
     TypeCode,
-    encode,
-    decode,
     is_numeric_primitive,
 )
-from ..runtime.collectives import _next_tag
 from .distribution import Distribution
 from .errors import NonLocalAccess
-from . import transfer as _transfer
 
 _ONESIDED_KEY_PREFIX = "_pardis_dseq:"
 
@@ -185,28 +181,13 @@ class DistributedSequence:
             raise ValueError(
                 f"cannot redistribute length {self.dist.n} to {new_dist.n}"
             )
+        # Late import: the courier package imports marshal, which imports
+        # this module.
+        from .pipeline.courier import redistribute_exchange
+
         out = DistributedSequence(self.element, new_dist, self.rank)
-        sched = _transfer.schedule(self.dist, new_dist)
-        tag = _next_tag(rts)
-        ftc = SequenceTC(self.element)
-        for item in _transfer.outgoing(sched, self.rank):
-            values = _transfer.extract(self.dist, self.rank, self._local,
-                                       item.intervals)
-            payload = encode(ftc, values)
-            rts.send_reserved(item.dst_rank, (item.intervals, payload), tag,
-                              nbytes=len(payload))
-        for item in _transfer.local_items(sched, self.rank):
-            values = _transfer.extract(self.dist, self.rank, self._local,
-                                       item.intervals)
-            _transfer.insert(new_dist, self.rank, out._local,
-                             item.intervals, values)
-        pending = len(_transfer.incoming(sched, self.rank))
-        for _ in range(pending):
-            msg = rts.recv(tag=tag)
-            intervals, payload = msg.payload
-            values = decode(ftc, payload)
-            _transfer.insert(new_dist, self.rank, out._local,
-                             tuple(intervals), values)
+        redistribute_exchange(self.element, self.dist, new_dist, self.rank,
+                              self._local, out._local, rts)
         return out
 
     # -- collectives -----------------------------------------------------------------------------

@@ -1,60 +1,34 @@
-"""Client-side invocation engine: bindings, requests, progress.
+"""Client-side invocation engine: bindings and request emission.
 
 This module implements what the compiler-generated stubs delegate to:
 
 * :class:`Binding` — the client's connection to an object, created by
   ``_bind`` (one per thread) or ``_spmd_bind`` (collective, representing
   the parallel client to the ORB as one entity, paper §3.1);
-* :func:`invoke` — blocking and non-blocking request emission, including
-  direct parallel transfer of distributed arguments, flow control
-  (bounded outstanding requests per binding) and the local-bypass
-  optimization (§4.1);
-* :class:`PendingRequest` — reply/fragment collection and future
-  resolution (the ORB's client-side progress engine).
+* :func:`invoke` — blocking and non-blocking request emission, flow
+  control (bounded outstanding requests per binding) and the
+  local-bypass optimization (§4.1).
+
+The per-request protocol work — marshaling, direct parallel fragment
+transfer, reply/fragment collection, future resolution, interceptor
+dispatch — lives in
+:class:`repro.core.pipeline.state.ClientRequestState`, which this module
+re-exports under its historic name :class:`PendingRequest`.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Any, Optional
+from typing import Optional
 
 from ..runtime import collectives as coll
-from ..runtime.tags import (
-    TAG_ARG_FRAGMENT,
-    TAG_REPLY_HEADER,
-    TAG_REQUEST_HEADER,
-    TAG_RESULT_FRAGMENT,
-)
-from .distribution import Distribution
-from .dsequence import DistributedSequence
-from .errors import BindingError, CollectiveMismatch, SystemException
+from .errors import BindingError, CollectiveMismatch
 from .futures import Future
 from .interfacedef import OpDef
-from .marshal import (
-    as_distributed,
-    decode_scalars,
-    encode_out_request,
-    encode_scalars,
-    fragment_payload,
-    fragment_values,
-    materialize_objrefs,
-    resolve_out_dist,
-    scalar_in_specs,
-    scalar_result_specs,
-    wrap_out,
-)
+from .pipeline.state import ClientRequestState
 from .repository import ObjectRef
-from .request import (
-    Fragment,
-    ReplyHeader,
-    RequestHeader,
-    STATUS_OK,
-    STATUS_SYS_EXC,
-    STATUS_USER_EXC,
-    build as build_dist,
-    describe as describe_dist,
-)
-from . import transfer as _transfer
+
+#: historic name of the client-side progress engine
+PendingRequest = ClientRequestState
 
 __all__ = ["Binding", "PendingRequest", "invoke"]
 
@@ -70,7 +44,7 @@ class Binding:
         self.uid = (ctx.program.program_id, scope, ctx._binding_counter)
         ctx._binding_counter += 1
         self._req_seq = 0
-        self.outstanding: list[PendingRequest] = []
+        self.outstanding: list[ClientRequestState] = []
         self.local = ref.program_id == ctx.program.program_id
         ctx.compute(ctx.orb.config.bind_cost)
 
@@ -98,231 +72,6 @@ class Binding:
     def __repr__(self) -> str:
         mode = "spmd" if self.collective else "single"
         return f"<Binding {self.ref.name!r} {mode} local={self.local}>"
-
-
-# ---------------------------------------------------------------------------
-# Pending requests (progress engine)
-# ---------------------------------------------------------------------------
-
-
-class PendingRequest:
-    """Client-side state of one in-flight request on one thread."""
-
-    def __init__(self, binding: Binding, op: OpDef, req_id,
-                 out_requests: dict, placeholders: tuple) -> None:
-        self.binding = binding
-        self.ctx = binding.ctx
-        self.op = op
-        self.req_id = req_id
-        self._obs = binding.ctx.orb.observer
-        self.out_requests = out_requests
-        self.reply: Optional[ReplyHeader] = None
-        self.done = False
-        self.error: Optional[BaseException] = None
-        self.result: Any = None
-        #: param -> (dist, storage, remaining fragment count)
-        self._out_state: dict[str, list] = {}
-        timeout = self.ctx.orb.config.request_timeout
-        self.deadline = (self.ctx.now() + timeout
-                         if timeout is not None else None)
-        self.result_future = Future(label=f"{op.name}#{req_id[-1]}")
-        self.result_future._bind(self._progress_hook)
-        self.placeholders = tuple(placeholders)
-        if len(self.placeholders) > len(op.out_params):
-            raise BindingError(
-                f"{op.name}: {len(self.placeholders)} future placeholders "
-                f"for {len(op.out_params)} out parameters"
-            )
-        for fut in self.placeholders:
-            fut._bind(self._progress_hook)
-
-    # -- progress -----------------------------------------------------------------
-
-    def _progress_hook(self, block: bool) -> None:
-        if not block:
-            self.ctx.compute(self.ctx.orb.config.poll_cost)
-        self.progress(block)
-        if block and self.error is not None:
-            # value() re-raises via the future's stored exception
-            pass
-
-    def progress(self, block: bool) -> bool:
-        """Advance this request; returns True when complete."""
-        ep = self.ctx.endpoint
-        while not self.done:
-            if self.reply is None:
-                pkt = self._take(ep, TAG_REPLY_HEADER, block)
-                if pkt is None:
-                    return False
-                self._on_reply(pkt.body)
-                continue
-            needed = self._next_needed_param()
-            if needed is None:
-                self._finish()
-                continue
-            pkt = self._take(
-                ep, TAG_RESULT_FRAGMENT, block,
-                extra=lambda frag: frag.param == needed
-                or frag.param in self._pending_params(),
-            )
-            if pkt is None:
-                return False
-            self._on_fragment(pkt.body)
-        return True
-
-    def _take(self, ep, tag, block, extra=None):
-        def match(env):
-            pkt = env.payload
-            if pkt.tag != tag:
-                return False
-            body = pkt.body
-            if body.req_id != self.req_id:
-                return False
-            return extra is None or extra(body)
-
-        if block:
-            obs = self._obs
-            t0 = self.ctx.now() if obs is not None else 0.0
-            env = ep.channel.receive(match, reason=f"reply {self.op.name}",
-                                     deadline=self.deadline)
-            if obs is not None:
-                obs.span("wait", self.op.name, self.req_id,
-                         self.ctx.program.name, self.binding.client_index,
-                         t0, self.ctx.now())
-            if env is None:
-                self._fail(SystemException(
-                    f"{self.op.name} timed out after "
-                    f"{self.ctx.orb.config.request_timeout} virtual s"
-                ))
-                return None
-        else:
-            env = ep.channel.poll(match)
-        return env.payload if env else None
-
-    def _pending_params(self):
-        return [p for p, st in self._out_state.items() if st[2] > 0]
-
-    def _next_needed_param(self):
-        pend = self._pending_params()
-        return pend[0] if pend else None
-
-    # -- reply handling ------------------------------------------------------------
-
-    def _on_reply(self, reply: ReplyHeader) -> None:
-        self.reply = reply
-        if reply.status != STATUS_OK:
-            self._fail(self._build_exception(reply))
-            return
-        my_idx = self.binding.client_index
-        p_client = self.binding.client_nthreads
-        for param in self.op.dseq_out_params:
-            descr = reply.dseq_outs.get(param.name)
-            if descr is None:
-                self._fail(SystemException(
-                    f"server reply missing layout for out arg {param.name!r}"
-                ))
-                return
-            server_dist = build_dist(descr)
-            n = server_dist.n
-            client_dist = resolve_out_dist(
-                self.out_requests.get(param.name), param.tc.client_dist,
-                n, p_client,
-            )
-            sched = _transfer.schedule(server_dist, client_dist)
-            expected = sum(1 for t in sched if t.dst_rank == my_idx)
-            storage = DistributedSequence(param.tc.element, client_dist, my_idx)
-            self._out_state[param.name] = [client_dist, storage, expected]
-
-    def _on_fragment(self, frag: Fragment) -> None:
-        state = self._out_state.get(frag.param)
-        if state is None or state[2] <= 0:
-            raise SystemException(
-                f"unexpected fragment for {frag.param!r} of {self.op.name}"
-            )
-        obs = self._obs
-        t0 = self.ctx.now() if obs is not None else 0.0
-        dist, storage, _ = state
-        param = next(p for p in self.op.dseq_out_params if p.name == frag.param)
-        values = fragment_values(param.tc.element, frag.payload)
-        _transfer.insert(dist, self.binding.client_index, storage.owned_data,
-                         tuple(frag.intervals), values)
-        state[2] -= 1
-        if obs is not None:
-            obs.span("unmarshal", self.op.name, self.req_id,
-                     self.ctx.program.name, self.binding.client_index,
-                     t0, self.ctx.now(), nbytes=len(frag.payload))
-
-    def _build_exception(self, reply: ReplyHeader) -> BaseException:
-        if reply.status == STATUS_USER_EXC:
-            from .stubapi import lookup_exception
-
-            repo_id, data = reply.exception
-            cls, tc = lookup_exception(repo_id)
-            if cls is None:
-                return SystemException(
-                    f"unknown user exception {repo_id!r} from {self.op.name}"
-                )
-            from ..cdr import decode as cdr_decode
-
-            return cls(**cdr_decode(tc, data))
-        return SystemException(
-            f"{self.op.name} failed on the server: {reply.exception}"
-        )
-
-    # -- completion -------------------------------------------------------------------
-
-    def _finish(self) -> None:
-        obs = self._obs
-        t0 = self.ctx.now() if obs is not None else 0.0
-        specs = scalar_result_specs(self.op)
-        scalars = decode_scalars(specs, self.reply.scalar_results)
-        materialize_objrefs(specs, scalars, self.ctx)
-        values = []
-        if self.op.ret_tc is not None:
-            values.append(scalars["__return"])
-        out_values = []
-        for param in self.op.out_params:
-            if param.is_distributed:
-                out_values.append(
-                    wrap_out(param, self._out_state[param.name][1])
-                )
-            else:
-                out_values.append(scalars[param.name])
-        values.extend(out_values)
-        self.result = (None if not values
-                       else values[0] if len(values) == 1
-                       else tuple(values))
-        self.done = True
-        self._detach()
-        if obs is not None:
-            now = self.ctx.now()
-            obs.span("unmarshal", self.op.name, self.req_id,
-                     self.ctx.program.name, self.binding.client_index,
-                     t0, now, nbytes=len(self.reply.scalar_results))
-            obs.request_finished(self.req_id, self.ctx.program.name,
-                                 self.binding.client_index, now, "ok")
-        self.result_future._resolve(self.result)
-        for fut, val in zip(self.placeholders, out_values):
-            fut._resolve(val)
-
-    def _fail(self, exc: BaseException) -> None:
-        self.error = exc
-        self.done = True
-        self._detach()
-        if self._obs is not None:
-            self._obs.request_finished(self.req_id, self.ctx.program.name,
-                                       self.binding.client_index,
-                                       self.ctx.now(), "failed")
-        self.result_future._fail(exc)
-        for fut in self.placeholders:
-            fut._fail(exc)
-
-    def _detach(self) -> None:
-        self.ctx.pending.pop(self.req_id, None)
-        try:
-            self.binding.outstanding.remove(self)
-        except ValueError:
-            pass
 
 
 # ---------------------------------------------------------------------------
@@ -360,138 +109,55 @@ def invoke(binding: Binding, op: OpDef, in_values: tuple,
     while len(binding.outstanding) >= cfg.max_outstanding:
         binding.outstanding[0].progress(block=True)
 
-    req_id = binding.next_req_id()
-    ref = binding.ref
-    my_idx = binding.client_index
-    p_client = binding.client_nthreads
-
-    obs = ctx.orb.observer
-    t_marshal0 = ctx.now() if obs is not None else 0.0
-    if obs is not None:
-        obs.request_started(req_id, op.name, ctx.program.name, my_idx,
-                            t_marshal0)
-
-    # Partition arguments.
-    named_in = dict(zip((p.name for p in op.in_params), in_values))
-    scalar_args = encode_scalars(
-        scalar_in_specs(op),
-        {p.name: named_in[p.name] for p in op.scalar_in_params},
-    )
-    dseq_args: dict[str, DistributedSequence] = {}
-    dseq_meta: dict[str, tuple] = {}
-    for param in op.dseq_in_params:
-        ds = as_distributed(param, named_in[param.name], p_client, my_idx)
-        dseq_args[param.name] = ds
-        dseq_meta[param.name] = describe_dist(ds.dist)
-
-    out_requests: dict[str, tuple] = {}
-    distributions = distributions or {}
-    for param in op.dseq_out_params:
-        req = distributions.get(param.name)
-        if req is None:
-            idx = op.out_params.index(param)
-            if idx < len(placeholders) and placeholders[idx].distribution is not None:
-                req = placeholders[idx].distribution
-        enc = encode_out_request(req)
-        if enc is not None:
-            out_requests[param.name] = enc
-
-    header = RequestHeader(
-        req_id=req_id,
-        object_name=ref.name,
-        op=op.name,
-        kind=ref.kind,
-        client_program_id=ctx.program.program_id,
-        client_nthreads=p_client,
-        reply_to=binding.reply_endpoints(),
-        scalar_args=scalar_args,
-        dseq_args=dseq_meta,
-        out_dists=out_requests,
-        oneway=op.oneway,
-    )
-
-    if obs is not None:
-        t_send0 = ctx.now()
-        obs.span("marshal", op.name, req_id, ctx.program.name, my_idx,
-                 t_marshal0, t_send0, nbytes=len(scalar_args))
-    sent_nbytes = 0
-
-    transport = ctx.orb.world.transport
-    offload = cfg.communication_threads
-    if my_idx == 0:
-        hdr_nb = header.nbytes()
-        transport.send(ctx.endpoint.address, ref.root_endpoint, header,
-                       tag=TAG_REQUEST_HEADER, nbytes=hdr_nb,
-                       oneway=op.oneway or offload)
-        sent_nbytes += hdr_nb
-
-    # Direct parallel transfer of distributed in-arguments.
-    for param in op.dseq_in_params:
-        ds = dseq_args[param.name]
-        server_dist = _server_in_dist(ref, op, param, ds.dist.n)
-        sched = _transfer.schedule(ds.dist, server_dist)
-        for item in sched:
-            if item.src_rank != my_idx:
-                continue
-            values = _transfer.extract(ds.dist, my_idx, ds.owned_data,
-                                       item.intervals)
-            payload = fragment_payload(param.tc.element, values)
-            frag = Fragment(req_id, param.name, my_idx, item.intervals, payload)
-            frag_nb = frag.nbytes()
-            transport.send(
-                ctx.endpoint.address, ref.endpoints[item.dst_rank], frag,
-                tag=TAG_ARG_FRAGMENT, nbytes=frag_nb,
-                oneway=op.oneway or offload,
-            )
-            sent_nbytes += frag_nb
-    ctx.orb.requests_sent += 1
-
-    if obs is not None:
-        now = ctx.now()
-        obs.span("send", op.name, req_id, ctx.program.name, my_idx,
-                 t_send0, now, nbytes=sent_nbytes)
-        if op.oneway:
-            obs.request_finished(req_id, ctx.program.name, my_idx, now,
-                                 "oneway")
-
-    if op.oneway:
-        return None
-
-    pending = PendingRequest(binding, op, req_id, out_requests, placeholders)
-    ctx.pending[req_id] = pending
-    binding.outstanding.append(pending)
-    if blocking:
-        pending.progress(block=True)
-        if pending.error is not None:
-            raise pending.error
-        return pending.result
-    return pending.result_future
-
-
-def _server_in_dist(ref: ObjectRef, op: OpDef, param, n: int) -> Distribution:
-    """Server-side layout of a distributed in argument: the registration
-    override if the server set one, else the IDL default."""
-    from .distribution import resolve_dist_spec
-
-    spec = ref.in_dists.get((op.name, param.name), param.tc.server_dist)
-    return resolve_dist_spec(spec, n, ref.nthreads)
+    state = ClientRequestState(binding, op, in_values, distributions,
+                               placeholders)
+    return state.start(blocking)
 
 
 def _invoke_local(binding: Binding, op: OpDef, in_values: tuple,
                   placeholders: tuple, blocking: bool):
-    """Local bypass (§4.1): a direct call on the co-located servant."""
+    """Local bypass (§4.1): a direct call on the co-located servant.
+
+    A raising servant behaves like the remote path: blocking calls
+    re-raise, non-blocking calls return a *failed* future (and fail the
+    placeholders), and the request reaches a "failed" terminal status on
+    the interceptor chain.
+    """
     ctx = binding.ctx
     ctx.compute(ctx.orb.config.local_call_overhead)
     record = ctx.poa._lookup_record(binding.ref.name)
     rank = ctx.rank if binding.ref.kind == "spmd" else binding.ref.owner_rank
     servant = record.servants[rank]
     ctx.orb.local_bypasses += 1
-    obs = ctx.orb.observer
-    t0 = ctx.now() if obs is not None else 0.0
-    result = getattr(servant, op.name)(*in_values)
-    if obs is not None:
-        obs.span("local", op.name, "local", ctx.program.name,
-                 binding.client_index, t0, ctx.now())
+    req_id = binding.next_req_id()
+    chain = ctx.orb.interceptors
+    spans = chain.wants_spans
+    t0 = ctx.now() if spans else 0.0
+    if spans:
+        chain.request_started(req_id, op.name, ctx.program.name,
+                              binding.client_index, t0)
+    try:
+        result = getattr(servant, op.name)(*in_values)
+    except Exception as exc:
+        if spans:
+            now = ctx.now()
+            chain.span("local", op.name, req_id, ctx.program.name,
+                       binding.client_index, t0, now)
+            chain.request_finished(req_id, ctx.program.name,
+                                   binding.client_index, now, "failed")
+        if blocking:
+            raise
+        fut = Future(label=f"{op.name}(local)")
+        fut._fail(exc)
+        for ph in placeholders:
+            ph._fail(exc)
+        return fut
+    if spans:
+        now = ctx.now()
+        chain.span("local", op.name, req_id, ctx.program.name,
+                   binding.client_index, t0, now)
+        chain.request_finished(req_id, ctx.program.name,
+                               binding.client_index, now, "ok")
     if blocking:
         return result
     fut = Future(label=f"{op.name}(local)")

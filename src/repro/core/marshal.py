@@ -17,7 +17,6 @@ from ..cdr import (
     CdrDecoder,
     CdrEncoder,
     DSequenceTC,
-    SequenceTC,
     TypeCode,
 )
 from ..cdr import encoder as _cdr_encoder
@@ -118,20 +117,8 @@ def wrap_out(param: ParamDef, dseq: DistributedSequence) -> Any:
     return dseq
 
 
-def fragment_payload(element: TypeCode, values) -> bytes:
-    data = CdrEncoder().encode(SequenceTC(element), values).getvalue()
-    meter = _cdr_encoder._MARSHAL_METER
-    if meter is not None:
-        meter.on_encode(len(data))
-    return data
-
-
-def fragment_values(element: TypeCode, payload: bytes):
-    dec = CdrDecoder(payload)
-    meter = _cdr_encoder._MARSHAL_METER
-    if meter is not None:
-        meter.on_decode(len(payload))
-    return dec.decode(SequenceTC(element))
+# Fragment payload encode/decode lives with the fragment courier
+# (repro.core.pipeline.courier), the one owner of fragment movement.
 
 
 # ---------------------------------------------------------------------------

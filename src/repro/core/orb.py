@@ -23,6 +23,7 @@ from ..simkernel import SimKernel
 from .distribution import Distribution
 from .dsequence import DistributedSequence
 from .errors import ActivationError, ObjectNotFound
+from .pipeline.interceptors import InterceptorChain, RequestInterceptor
 from .repository import (
     ActivationRecord,
     ImplementationRepository,
@@ -67,6 +68,10 @@ class OrbConfig:
     #: forever).  A timed-out request fails with a SystemException on all
     #: of its futures.
     request_timeout: Optional[float] = None
+    #: Portable interceptors registered at ORB construction (instances of
+    #: repro.core.pipeline.RequestInterceptor); more can be added later
+    #: via ORB.register_interceptor.
+    interceptors: tuple = ()
 
 
 class ActivationAgent:
@@ -122,9 +127,26 @@ class ORB:
         #: counters for tests/benchmarks
         self.requests_sent = 0
         self.local_bypasses = 0
+        #: orphaned argument fragments drained by POA dead-lettering
+        self.dead_fragments = 0
+        #: portable-interceptor chain shared by every program's request
+        #: path in this world; empty by default (zero hot-path cost)
+        self.interceptors = InterceptorChain(self.config.interceptors)
         #: request-lifecycle observer (repro.tools.observe.attach_observer);
-        #: None keeps every hook site at one identity check
+        #: kept as a plain attribute for introspection — the observer's
+        #: span feed now arrives through the interceptor chain
         self.observer = None
+
+    # -- portable interceptors ---------------------------------------------------
+
+    def register_interceptor(self, icept: RequestInterceptor
+                             ) -> RequestInterceptor:
+        """Add a portable interceptor to the world's chain (points run in
+        registration order); returns it for later unregistration."""
+        return self.interceptors.add(icept)
+
+    def unregister_interceptor(self, icept: RequestInterceptor) -> None:
+        self.interceptors.remove(icept)
 
     # -- naming ------------------------------------------------------------------
 

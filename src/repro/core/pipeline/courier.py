@@ -1,0 +1,150 @@
+"""The fragment courier: the ORB's one implementation of distributed-
+argument fragment movement.
+
+Before this package existed, the schedule→extract→fragment→send half and
+the receive→insert half of distributed-argument transfer were each
+implemented twice (client in-args and server out-args; server in-args
+and client out-args).  The courier owns all four:
+
+* :meth:`FragmentCourier.send_fragments` — the send loop, used for
+  client "in" arguments and server "out" results alike;
+* :meth:`FragmentCourier.receive_fragments` — the blocking
+  receive/insert loop, used for server "in" arguments;
+* :meth:`FragmentCourier.insert_fragment` — the single-fragment insert
+  step the client's progress engine pumps for "out" results (fragments
+  are matched, not ordered, so the client inserts them as they arrive);
+* :func:`redistribute_exchange` — the same extract/insert engine over a
+  run-time-system channel, backing
+  :meth:`~repro.core.dsequence.DistributedSequence.redistribute`.
+
+``transfer.extract`` and ``transfer.insert`` are called from nowhere
+else in the tree.
+"""
+
+from __future__ import annotations
+
+from ...cdr import CdrDecoder, CdrEncoder, SequenceTC, TypeCode
+from ...cdr import encoder as _cdr_encoder
+from ..distribution import Distribution
+from ..request import Fragment
+from .. import transfer as _transfer
+
+__all__ = ["FragmentCourier", "fragment_payload", "fragment_values",
+           "redistribute_exchange"]
+
+
+def fragment_payload(element: TypeCode, values) -> bytes:
+    """CDR-encode one fragment's element run (``sequence<element>``)."""
+    data = CdrEncoder().encode(SequenceTC(element), values).getvalue()
+    meter = _cdr_encoder._MARSHAL_METER
+    if meter is not None:
+        meter.on_encode(len(data))
+    return data
+
+
+def fragment_values(element: TypeCode, payload: bytes):
+    """Decode one fragment's element run."""
+    dec = CdrDecoder(payload)
+    meter = _cdr_encoder._MARSHAL_METER
+    if meter is not None:
+        meter.on_decode(len(payload))
+    return dec.decode(SequenceTC(element))
+
+
+class FragmentCourier:
+    """Per-thread fragment mover bound to one :class:`PardisContext`."""
+
+    __slots__ = ("ctx", "transport")
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.transport = ctx.orb.world.transport
+
+    # -- sending -----------------------------------------------------------
+
+    def send_fragments(self, *, src_dist: Distribution, dst_dist: Distribution,
+                       rank: int, local_data, element: TypeCode, req_id,
+                       param: str, endpoints, tag: int,
+                       oneway: bool = False) -> int:
+        """Ship this thread's overlap of ``src_dist -> dst_dist`` directly
+        to the destination threads; returns the bytes injected."""
+        sched = _transfer.cached_schedule(src_dist, dst_dist)
+        src_addr = self.ctx.endpoint.address
+        nbytes = 0
+        for item in sched:
+            if item.src_rank != rank:
+                continue
+            values = _transfer.extract(src_dist, rank, local_data,
+                                       item.intervals)
+            frag = Fragment(req_id, param, rank, item.intervals,
+                            fragment_payload(element, values))
+            frag_nb = frag.nbytes()
+            self.transport.send(src_addr, endpoints[item.dst_rank], frag,
+                                tag=tag, nbytes=frag_nb, oneway=oneway)
+            nbytes += frag_nb
+        return nbytes
+
+    # -- receiving ---------------------------------------------------------
+
+    @staticmethod
+    def expected_fragments(src_dist: Distribution, dst_dist: Distribution,
+                           rank: int) -> int:
+        """How many fragments of ``src_dist -> dst_dist`` target ``rank``."""
+        sched = _transfer.cached_schedule(src_dist, dst_dist)
+        return sum(1 for t in sched if t.dst_rank == rank)
+
+    def receive_fragments(self, *, dist: Distribution, rank: int, local_data,
+                          element: TypeCode, req_id, param: str,
+                          expected: int, tag: int, reason: str) -> None:
+        """Blocking receive/insert loop: collect exactly ``expected``
+        fragments of ``param`` and insert them by global index."""
+        channel = self.ctx.endpoint.channel
+
+        def match(env):
+            pkt = env.payload
+            return (pkt.tag == tag and pkt.body.req_id == req_id
+                    and pkt.body.param == param)
+
+        for _ in range(expected):
+            frag = channel.receive(match, reason=reason).payload.body
+            self.insert_fragment(dist, rank, local_data, element, frag)
+
+    def insert_fragment(self, dist: Distribution, rank: int, local_data,
+                        element: TypeCode, frag: Fragment) -> None:
+        """Insert one received fragment into local storage."""
+        values = fragment_values(element, frag.payload)
+        _transfer.insert(dist, rank, local_data, tuple(frag.intervals),
+                         values)
+
+
+# ---------------------------------------------------------------------------
+# RTS-channel exchange (redistribution)
+# ---------------------------------------------------------------------------
+
+
+def redistribute_exchange(element: TypeCode, src_dist: Distribution,
+                          dst_dist: Distribution, rank: int, src_data,
+                          dst_data, rts) -> None:
+    """Collective fragment exchange over the program's run-time system:
+    every thread ships its overlaps of ``src_dist -> dst_dist`` and
+    collects what lands on it (the engine behind
+    ``DistributedSequence.redistribute``)."""
+    from ...cdr import decode, encode
+    from ...runtime.collectives import _next_tag
+
+    sched = _transfer.cached_schedule(src_dist, dst_dist)
+    tag = _next_tag(rts)
+    ftc = SequenceTC(element)
+    for item in _transfer.outgoing(sched, rank):
+        values = _transfer.extract(src_dist, rank, src_data, item.intervals)
+        payload = encode(ftc, values)
+        rts.send_reserved(item.dst_rank, (item.intervals, payload), tag,
+                          nbytes=len(payload))
+    for item in _transfer.local_items(sched, rank):
+        values = _transfer.extract(src_dist, rank, src_data, item.intervals)
+        _transfer.insert(dst_dist, rank, dst_data, item.intervals, values)
+    for _ in range(len(_transfer.incoming(sched, rank))):
+        msg = rts.recv(tag=tag)
+        intervals, payload = msg.payload
+        values = decode(ftc, payload)
+        _transfer.insert(dst_dist, rank, dst_data, tuple(intervals), values)

@@ -1,0 +1,81 @@
+"""Deadline propagation over the interceptor chain.
+
+The client's :class:`DeadlineInterceptor` stamps each outgoing request
+with an absolute virtual-time deadline in the ``service_contexts``
+(GIOP-style); the server side of the same interceptor *sheds* requests
+whose deadline has already passed when they reach the POA — the servant
+is never called, the orphaned argument fragments are dead-lettered, and
+the client receives a prompt ``system_exception`` reply instead of a
+result that would arrive too late (or, worse, a silent hang until its
+own ``request_timeout``).
+
+One caveat is inherent to SPMD dispatch: every server thread evaluates
+the shed decision independently, so threads whose clocks have drifted
+apart may disagree near the boundary.  The engine's supplementary
+``peer_exception`` replies (see ``repro.core.request``) keep the client
+from hanging in that case: whichever thread sheds notifies the client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SystemException
+from .interceptors import (
+    ClientRequestInfo,
+    RequestInterceptor,
+    ServerRequestInfo,
+)
+
+__all__ = ["DEADLINE_CONTEXT", "DeadlineExpired", "DeadlineInterceptor"]
+
+#: service-context key carrying the absolute virtual-time deadline
+DEADLINE_CONTEXT = "pardis.deadline"
+
+
+class DeadlineExpired(SystemException):
+    """The request's propagated deadline passed before the servant ran."""
+
+
+class DeadlineInterceptor(RequestInterceptor):
+    """Propagates per-request deadlines and sheds expired requests.
+
+    Register it on the client ORB, the server ORB, or both (in the
+    simulated world a single registration usually covers both sides,
+    since every program shares the world's ORB):
+
+    * ``send_request`` writes the earliest of the invocation's own
+      timeout deadline and ``now + budget`` (when a ``budget`` was
+      given) into the request's service contexts;
+    * ``receive_request`` raises :class:`DeadlineExpired` when that
+      deadline has already passed, which the engine turns into an error
+      reply and a dead-letter of the request's argument fragments.
+    """
+
+    name = "deadline-propagation"
+
+    def __init__(self, budget: Optional[float] = None) -> None:
+        #: relative per-request budget in virtual seconds (``None`` means
+        #: propagate only the ORB's request_timeout deadline)
+        self.budget = budget
+        #: requests shed by this interceptor (server side)
+        self.shed_count = 0
+
+    def send_request(self, info: ClientRequestInfo) -> None:
+        deadline = info.deadline
+        if self.budget is not None:
+            budgeted = info.ctx.now() + self.budget
+            deadline = budgeted if deadline is None else min(deadline,
+                                                             budgeted)
+        if deadline is not None:
+            info.service_contexts[DEADLINE_CONTEXT] = deadline
+
+    def receive_request(self, info: ServerRequestInfo) -> None:
+        deadline = info.service_contexts.get(DEADLINE_CONTEXT)
+        if deadline is not None and info.ctx.now() > deadline:
+            self.shed_count += 1
+            raise DeadlineExpired(
+                f"{info.op_name} on {info.object_name!r}: deadline "
+                f"{deadline:.6f} already passed at "
+                f"{info.ctx.now():.6f} (virtual s); request shed"
+            )

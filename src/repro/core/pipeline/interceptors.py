@@ -1,0 +1,281 @@
+"""Portable request interceptors (CORBA's portable-interceptor model).
+
+Cross-cutting request services — tracing, deadline propagation, fault
+injection, retry policies — hook the request path through a
+:class:`RequestInterceptor` registered on the ORB's
+:class:`InterceptorChain`, not through inline guards in the engine.  The
+chain exposes the five classic interception points:
+
+========================= ====== =========================================
+point                     side   fires
+========================= ====== =========================================
+``send_request``          client after marshaling, before the header and
+                                 argument fragments are injected; may add
+                                 request ``service_contexts`` or abort the
+                                 invocation by raising
+``receive_reply``         client after a successful reply is fully
+                                 assembled, before futures resolve; raising
+                                 turns the success into a failure
+``receive_exception``     client when the request fails (error reply, peer
+                                 failure, timeout, or send-time abort); may
+                                 replace the exception by raising
+``receive_request``       server after operation resolution, before
+                                 argument collection and the servant call;
+                                 raising *sheds* the request (error reply,
+                                 orphaned fragments dead-lettered)
+``send_reply``            server before the reply header leaves the
+                                 authoring thread; may add reply
+                                 ``service_contexts``
+========================= ====== =========================================
+
+``service_contexts`` is a plain ``str -> picklable`` dict carried on
+:class:`~repro.core.request.RequestHeader` and
+:class:`~repro.core.request.ReplyHeader` (GIOP's ServiceContextList).
+
+Interceptors may additionally implement the *span sink* protocol
+(``on_span`` / ``on_request_started`` / ``on_request_finished``) to
+receive the request-lifecycle phases the state machines emit; this is how
+:class:`repro.tools.observe.RequestObserver` attaches.  An empty chain
+keeps every hook site at one attribute load plus a truthiness check, so
+the hot path is unaffected until an interceptor is registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import BindingError
+from ..interfacedef import OpDef
+from ..request import ReplyHeader, RequestHeader
+
+__all__ = [
+    "ClientRequestInfo",
+    "InterceptorChain",
+    "RequestInterceptor",
+    "ServerRequestInfo",
+    "CLIENT_POINTS",
+    "SERVER_POINTS",
+    "POINTS",
+]
+
+CLIENT_POINTS = ("send_request", "receive_reply", "receive_exception")
+SERVER_POINTS = ("receive_request", "send_reply")
+POINTS = CLIENT_POINTS + SERVER_POINTS
+
+#: span-sink protocol methods (the observability seam)
+SPAN_HOOKS = ("on_span", "on_request_started", "on_request_finished")
+
+
+@dataclass
+class ClientRequestInfo:
+    """What a client-side interceptor sees about one invocation."""
+
+    ctx: Any                         # PardisContext of the invoking thread
+    op: OpDef
+    req_id: tuple
+    object_name: str
+    rank: int                        # client thread index in the invocation
+    oneway: bool
+    deadline: Optional[float]        # absolute virtual-time reply deadline
+    #: request service contexts; mutations in ``send_request`` travel on
+    #: the RequestHeader
+    service_contexts: dict = field(default_factory=dict)
+    reply: Optional[ReplyHeader] = None
+    result: Any = None
+    exception: Optional[BaseException] = None
+
+    @property
+    def op_name(self) -> str:
+        return self.op.name
+
+    @property
+    def reply_service_contexts(self) -> dict:
+        return self.reply.service_contexts if self.reply is not None else {}
+
+
+@dataclass
+class ServerRequestInfo:
+    """What a server-side interceptor sees about one dispatched request."""
+
+    ctx: Any                         # PardisContext of the serving thread
+    header: RequestHeader
+    op: OpDef
+    servant: Any
+    is_root: bool                    # this thread authors the reply
+    #: reply service contexts; mutations up to ``send_reply`` travel on
+    #: the ReplyHeader
+    reply_service_contexts: dict = field(default_factory=dict)
+    result: Any = None
+    exception: Optional[BaseException] = None
+
+    @property
+    def op_name(self) -> str:
+        return self.header.op
+
+    @property
+    def object_name(self) -> str:
+        return self.header.object_name
+
+    @property
+    def req_id(self) -> tuple:
+        return self.header.req_id
+
+    @property
+    def service_contexts(self) -> dict:
+        return self.header.service_contexts
+
+
+class RequestInterceptor:
+    """Base class: override any subset of the five points (and/or the
+    span-sink hooks).  Unoverridden points cost nothing — the chain only
+    dispatches to interceptors that actually implement a point."""
+
+    name = "interceptor"
+
+    # -- client points -----------------------------------------------------
+
+    def send_request(self, info: ClientRequestInfo) -> None:
+        """Before the request leaves the client; raising aborts it."""
+
+    def receive_reply(self, info: ClientRequestInfo) -> None:
+        """After a successful reply, before futures resolve."""
+
+    def receive_exception(self, info: ClientRequestInfo) -> None:
+        """When the request fails; ``info.exception`` is set."""
+
+    # -- server points -----------------------------------------------------
+
+    def receive_request(self, info: ServerRequestInfo) -> None:
+        """Before argument collection; raising sheds the request."""
+
+    def send_reply(self, info: ServerRequestInfo) -> None:
+        """Before the reply header is sent by the authoring thread."""
+
+    # -- span sinks (observability seam) -----------------------------------
+
+    def on_span(self, phase: str, op: str, req, program: str, rank: int,
+                t0: float, t1: float, nbytes: int = 0) -> None:
+        """One request-lifecycle phase completed on one thread."""
+
+    def on_request_started(self, req, op: str, program: str, rank: int,
+                           t0: float) -> None:
+        """A request entered the pipeline."""
+
+    def on_request_finished(self, req, program: str, rank: int, t1: float,
+                            status: str = "ok") -> None:
+        """A request reached a terminal status (ok/failed/oneway)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _overrides(icept: RequestInterceptor, method: str) -> bool:
+    return (getattr(type(icept), method, None)
+            is not getattr(RequestInterceptor, method))
+
+
+class InterceptorChain:
+    """Ordered registry of interceptors with per-point dispatch lists.
+
+    Points run in registration order.  ``active`` and ``wants_spans``
+    are the two precomputed fast-path flags the state machines test on
+    the hot path.
+    """
+
+    __slots__ = ("_interceptors", "_points", "_span_sinks",
+                 "active", "wants_spans")
+
+    def __init__(self, interceptors=()) -> None:
+        self._interceptors: list[RequestInterceptor] = []
+        self._points: dict[str, tuple] = {}
+        self._span_sinks: tuple = ()
+        self.active = False
+        self.wants_spans = False
+        self._rebuild()
+        for icept in interceptors:
+            self.add(icept)
+
+    # -- registration ------------------------------------------------------
+
+    def add(self, icept: RequestInterceptor) -> RequestInterceptor:
+        if icept in self._interceptors:
+            raise BindingError(f"{icept!r} is already registered")
+        self._interceptors.append(icept)
+        self._rebuild()
+        return icept
+
+    def remove(self, icept: RequestInterceptor) -> None:
+        try:
+            self._interceptors.remove(icept)
+        except ValueError:
+            raise BindingError(f"{icept!r} is not registered") from None
+        self._rebuild()
+
+    def clear(self) -> None:
+        self._interceptors.clear()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._points = {
+            point: tuple(i for i in self._interceptors if _overrides(i, point))
+            for point in POINTS
+        }
+        self._span_sinks = tuple(
+            i for i in self._interceptors
+            if any(_overrides(i, h) for h in SPAN_HOOKS)
+        )
+        self.active = bool(self._interceptors)
+        self.wants_spans = bool(self._span_sinks)
+
+    def __len__(self) -> int:
+        return len(self._interceptors)
+
+    def __iter__(self):
+        return iter(self._interceptors)
+
+    def __contains__(self, icept) -> bool:
+        return icept in self._interceptors
+
+    # -- point dispatch ----------------------------------------------------
+
+    def send_request(self, info: ClientRequestInfo) -> None:
+        for icept in self._points["send_request"]:
+            icept.send_request(info)
+
+    def receive_reply(self, info: ClientRequestInfo) -> None:
+        for icept in self._points["receive_reply"]:
+            icept.receive_reply(info)
+
+    def receive_exception(self, info: ClientRequestInfo) -> None:
+        for icept in self._points["receive_exception"]:
+            icept.receive_exception(info)
+
+    def receive_request(self, info: ServerRequestInfo) -> None:
+        for icept in self._points["receive_request"]:
+            icept.receive_request(info)
+
+    def send_reply(self, info: ServerRequestInfo) -> None:
+        for icept in self._points["send_reply"]:
+            icept.send_reply(info)
+
+    # -- span fan-out ------------------------------------------------------
+
+    def span(self, phase: str, op: str, req, program: str, rank: int,
+             t0: float, t1: float, nbytes: int = 0) -> None:
+        for sink in self._span_sinks:
+            sink.on_span(phase, op, req, program, rank, t0, t1, nbytes)
+
+    def request_started(self, req, op: str, program: str, rank: int,
+                        t0: float) -> None:
+        for sink in self._span_sinks:
+            sink.on_request_started(req, op, program, rank, t0)
+
+    def request_finished(self, req, program: str, rank: int, t1: float,
+                         status: str = "ok") -> None:
+        for sink in self._span_sinks:
+            sink.on_request_finished(req, program, rank, t1, status)
+
+    def __repr__(self) -> str:
+        names = ", ".join(i.name for i in self._interceptors)
+        return f"<InterceptorChain [{names}]>"

@@ -14,48 +14,33 @@ Server programs create servants and activate them through the POA:
 ``impl_is_ready()`` enters the request loop and never returns;
 ``process_requests()`` drains currently-queued requests and returns so a
 server can interleave servicing with its own computation (§3.3).
+
+Per-request protocol work — argument collection, servant dispatch,
+reply/result emission, interceptor points — lives in
+:class:`repro.core.pipeline.state.ServerRequestState`.  The POA keeps
+the loops, the servant registry, and the *dead-letter* registry:
+requests rejected before/during argument collection leave orphaned
+argument fragments in flight, which are drained here so they can never
+be mis-matched by a later request.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..cdr import DSequenceTC, encode as cdr_encode
 from ..runtime.program import PORT_ORB
-from ..runtime.tags import (
-    TAG_ARG_FRAGMENT,
-    TAG_REPLY_HEADER,
-    TAG_REQUEST_HEADER,
-    TAG_RESULT_FRAGMENT,
-)
-from .distribution import Distribution
-from .dsequence import DistributedSequence
-from .errors import BadOperation, BindingError, ObjectNotFound, UserException
+from ..runtime.tags import TAG_ARG_FRAGMENT, TAG_REQUEST_HEADER
+from .errors import BindingError, ObjectNotFound
 from .interfacedef import InterfaceDef, OpDef, ParamDef
-from .marshal import (
-    as_distributed,
-    decode_scalars,
-    encode_scalars,
-    fragment_payload,
-    fragment_values,
-    resolve_out_dist,
-    scalar_in_specs,
-    scalar_result_specs,
-    wrap_out,
-)
+from .pipeline.state import ServerRequestState
 from .repository import ObjectRef
-from .request import (
-    Fragment,
-    ReplyHeader,
-    RequestHeader,
-    STATUS_OK,
-    STATUS_SYS_EXC,
-    STATUS_USER_EXC,
-    build as build_dist,
-    describe as describe_dist,
-)
-from . import transfer as _transfer
+from .request import RequestHeader
+
+#: Bound on remembered dead request ids (oldest forgotten first).  A
+#: fragment of a forgotten request can no longer be mis-matched anyway:
+#: request ids are never reused.
+_DEAD_LETTER_LIMIT = 256
 
 
 @dataclass
@@ -75,6 +60,9 @@ class POA:
         self.ctx = ctx
         svc = ctx.orb.program_services(ctx.program)
         self._registry: dict[str, ServantRecord] = svc.setdefault("servants", {})
+        #: request ids whose argument fragments are orphaned (rejected
+        #: before collection completed); insertion-ordered for trimming
+        self._dead_letters: dict = {}
 
     # -- activation ------------------------------------------------------------
 
@@ -168,6 +156,7 @@ class POA:
 
     def _process_one(self, block: bool) -> bool:
         ep = self.ctx.endpoint
+        self._drain_dead_letters()
 
         def match(env):
             return env.payload.tag == TAG_REQUEST_HEADER
@@ -179,81 +168,8 @@ class POA:
         self._handle(env.payload.body)
         return True
 
-    # -- dispatch -----------------------------------------------------------------
-
     def _handle(self, hdr: RequestHeader) -> None:
-        ctx = self.ctx
-        obs = ctx.orb.observer
-        t0 = ctx.now() if obs is not None else 0.0
-        record = self._lookup_record(hdr.object_name)
-        is_root = True  # set properly below once the kind is known
-        if record.kind == "spmd":
-            if ctx.rank == 0 and not hdr.forwarded and ctx.nprocs > 1:
-                fwd = replace(hdr, forwarded=True)
-                for r in range(1, ctx.nprocs):
-                    ctx.orb.world.transport.send(
-                        ep_addr(ctx), ctx.program.address(r, PORT_ORB), fwd,
-                        tag=TAG_REQUEST_HEADER, nbytes=hdr.nbytes(),
-                    )
-            servant = record.servants[ctx.rank]
-            is_root = ctx.rank == 0
-        else:
-            servant = record.servants[record.owner_rank]
-
-        op = self._resolve_op(record.iface, hdr, servant)
-        if obs is not None:
-            # Covers the servant lookup and (on rank 0) the SPMD forward.
-            obs.span("dispatch", hdr.op, hdr.req_id, ctx.program.name,
-                     ctx.rank, t0, ctx.now())
-        if op is None:
-            if is_root:
-                self._send_reply(hdr, ReplyHeader(
-                    hdr.req_id, STATUS_SYS_EXC,
-                    exception=f"no operation {hdr.op!r} on {record.name!r}",
-                ))
-            return
-
-        t_args0 = ctx.now() if obs is not None else 0.0
-        try:
-            args = self._collect_in_args(record, hdr, op)
-        except Exception as exc:  # bad request: report, keep serving
-            if is_root:
-                self._send_reply(hdr, ReplyHeader(
-                    hdr.req_id, STATUS_SYS_EXC, exception=repr(exc)))
-            return
-        if obs is not None:
-            obs.span("recv_args", op.name, hdr.req_id, ctx.program.name,
-                     ctx.rank, t_args0, ctx.now(),
-                     nbytes=len(hdr.scalar_args))
-
-        t_compute0 = ctx.now() if obs is not None else 0.0
-        try:
-            result = getattr(servant, op.name)(*args)
-        except UserException as exc:
-            if not hdr.oneway and is_root:
-                self._send_reply(hdr, ReplyHeader(
-                    hdr.req_id, STATUS_USER_EXC,
-                    exception=(exc._repo_id,
-                               cdr_encode(exc._typecode, exc._values())),
-                ))
-            return
-        except Exception as exc:
-            if not hdr.oneway and is_root:
-                self._send_reply(hdr, ReplyHeader(
-                    hdr.req_id, STATUS_SYS_EXC, exception=repr(exc)))
-            return
-        finally:
-            if obs is not None:
-                obs.span("compute", op.name, hdr.req_id, ctx.program.name,
-                         ctx.rank, t_compute0, ctx.now())
-
-        if hdr.oneway:
-            return
-        t_reply0 = ctx.now() if obs is not None else 0.0
-        self._send_results(record, hdr, op, result)
-        if obs is not None:
-            obs.span("reply", op.name, hdr.req_id, ctx.program.name,
-                     ctx.rank, t_reply0, ctx.now())
+        ServerRequestState(self, hdr).run()
 
     def _resolve_op(self, iface: InterfaceDef, hdr: RequestHeader,
                     servant) -> Optional[OpDef]:
@@ -272,124 +188,32 @@ class POA:
                              [ParamDef("in", "value", attr.tc)])
         return None
 
-    # -- argument collection -----------------------------------------------------------
+    # -- dead-lettered argument fragments ---------------------------------------
 
-    def _collect_in_args(self, record: ServantRecord, hdr: RequestHeader,
-                         op: OpDef) -> list:
-        ctx = self.ctx
-        specs = scalar_in_specs(op)
-        scalars = decode_scalars(specs, hdr.scalar_args)
-        from .marshal import materialize_objrefs
+    def _dead_letter(self, req_id) -> None:
+        """Mark ``req_id``'s argument fragments as orphaned and sweep any
+        that are already queued."""
+        self._dead_letters[req_id] = True
+        while len(self._dead_letters) > _DEAD_LETTER_LIMIT:
+            self._dead_letters.pop(next(iter(self._dead_letters)))
+        self._drain_dead_letters()
 
-        materialize_objrefs(specs, scalars, ctx)
-        values: dict[str, Any] = dict(scalars)
-        for param in op.dseq_in_params:
-            client_dist = build_dist(hdr.dseq_args[param.name])
-            n = client_dist.n
-            spec = record.in_dists.get((op.name, param.name),
-                                       param.tc.server_dist)
-            from .distribution import resolve_dist_spec
+    def _drain_dead_letters(self) -> None:
+        """Discard queued argument fragments of rejected requests.  Also
+        run on every loop iteration: fragments may still have been in
+        flight when their request was rejected."""
+        if not self._dead_letters:
+            return
+        channel = self.ctx.endpoint.channel
+        dead = self._dead_letters
 
-            server_dist = resolve_dist_spec(spec, n, ctx.nprocs)
-            sched = _transfer.schedule(client_dist, server_dist)
-            expected = sum(1 for t in sched if t.dst_rank == ctx.rank)
-            storage = DistributedSequence(param.tc.element, server_dist,
-                                          ctx.rank)
-            ep = ctx.endpoint
+        def match(env):
+            pkt = env.payload
+            return (pkt.tag == TAG_ARG_FRAGMENT
+                    and pkt.body.req_id in dead)
 
-            def match(env, pname=param.name):
-                pkt = env.payload
-                return (pkt.tag == TAG_ARG_FRAGMENT
-                        and pkt.body.req_id == hdr.req_id
-                        and pkt.body.param == pname)
-
-            for _ in range(expected):
-                frag: Fragment = ep.channel.receive(
-                    match, reason=f"arg {param.name}").payload.body
-                vals = fragment_values(param.tc.element, frag.payload)
-                _transfer.insert(server_dist, ctx.rank, storage.owned_data,
-                                 tuple(frag.intervals), vals)
-            values[param.name] = wrap_out(param, storage)
-        return [values[p.name] for p in op.in_params]
-
-    # -- results ----------------------------------------------------------------------
-
-    def _send_results(self, record: ServantRecord, hdr: RequestHeader,
-                      op: OpDef, result) -> None:
-        ctx = self.ctx
-        expected = ([] if op.ret_tc is None else ["__return"]) + [
-            p.name for p in op.out_params
-        ]
-        if not expected:
-            out_values: dict[str, Any] = {}
-        else:
-            # Only unpack tuples when more than one slot is expected: a
-            # single return value may itself be a tuple (e.g. a union).
-            if len(expected) == 1:
-                seq = (result,)
-            else:
-                seq = result if isinstance(result, tuple) else (result,)
-            if len(seq) != len(expected):
-                if (record.kind == "single") or ctx.rank == 0:
-                    self._send_reply(hdr, ReplyHeader(
-                        hdr.req_id, STATUS_SYS_EXC,
-                        exception=(f"servant {op.name} returned {len(seq)} "
-                                   f"values, expected {len(expected)}"),
-                    ))
-                return
-            out_values = dict(zip(expected, seq))
-
-        dseq_outs: dict[str, tuple] = {}
-        frag_plan = []
-        for param in op.dseq_out_params:
-            container = out_values[param.name]
-            ds = as_distributed(param, container, ctx.nprocs, ctx.rank)
-            client_dist = resolve_out_dist(
-                hdr.out_dists.get(param.name), param.tc.client_dist,
-                ds.dist.n, hdr.client_nthreads,
-            )
-            dseq_outs[param.name] = describe_dist(ds.dist)
-            frag_plan.append((param, ds, client_dist))
-
-        is_root = (record.kind == "single") or ctx.rank == 0
-        if is_root:
-            scalar_bytes = encode_scalars(
-                scalar_result_specs(op),
-                {k: v for k, v in out_values.items()
-                 if k == "__return" or not _is_dseq_param(op, k)},
-            )
-            self._send_reply(hdr, ReplyHeader(
-                hdr.req_id, STATUS_OK, scalar_results=scalar_bytes,
-                dseq_outs=dseq_outs,
-            ))
-
-        transport = ctx.orb.world.transport
-        offload = ctx.orb.config.communication_threads
-        for param, ds, client_dist in frag_plan:
-            sched = _transfer.schedule(ds.dist, client_dist)
-            for item in sched:
-                if item.src_rank != ctx.rank:
-                    continue
-                vals = _transfer.extract(ds.dist, ctx.rank, ds.owned_data,
-                                         item.intervals)
-                payload = fragment_payload(param.tc.element, vals)
-                frag = Fragment(hdr.req_id, param.name, ctx.rank,
-                                item.intervals, payload)
-                transport.send(
-                    ep_addr(ctx), hdr.reply_to[item.dst_rank], frag,
-                    tag=TAG_RESULT_FRAGMENT, nbytes=frag.nbytes(),
-                    oneway=offload,
-                )
-
-    def _send_reply(self, hdr: RequestHeader, reply: ReplyHeader) -> None:
-        transport = self.ctx.orb.world.transport
-        for addr in hdr.reply_to:
-            transport.send(ep_addr(self.ctx), addr, reply,
-                           tag=TAG_REPLY_HEADER, nbytes=reply.nbytes())
-
-
-def _is_dseq_param(op: OpDef, name: str) -> bool:
-    return any(p.name == name for p in op.dseq_out_params)
+        while channel.poll(match) is not None:
+            self.ctx.orb.dead_fragments += 1
 
 
 def ep_addr(ctx):

@@ -15,7 +15,7 @@ activation agents consume those records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from ..netsim import Address
 from .errors import ObjectNotFound

@@ -69,10 +69,14 @@ class RequestHeader:
     out_dists: dict[str, tuple] = field(default_factory=dict)
     oneway: bool = False
     forwarded: bool = False
+    #: GIOP-style ServiceContextList: opaque per-request entries added by
+    #: portable interceptors (deadlines, tracing ids, ...).
+    service_contexts: dict[str, Any] = field(default_factory=dict)
 
     def nbytes(self) -> int:
         return 96 + len(self.scalar_args) + 24 * (
             len(self.dseq_args) + len(self.out_dists) + len(self.reply_to)
+            + len(self.service_contexts)
         )
 
 
@@ -94,6 +98,13 @@ class Fragment:
 STATUS_OK = "ok"
 STATUS_USER_EXC = "user_exception"
 STATUS_SYS_EXC = "system_exception"
+#: Supplementary failure notification from a *non-root* SPMD server
+#: thread whose part of the request failed after the root may already
+#: have replied OK.  Not authoritative: a client that sees it before the
+#: root's reply keeps waiting for the real reply, but a client that is
+#: collecting result fragments fails promptly instead of hanging on
+#: fragments the dead thread will never send.
+STATUS_PEER_EXC = "peer_exception"
 
 
 @dataclass
@@ -106,6 +117,8 @@ class ReplyHeader:
     #: (exception repo_id, CDR fields) for user exceptions,
     #: or a message string for system exceptions
     exception: Optional[Any] = None
+    #: GIOP-style ServiceContextList for the reply direction.
+    service_contexts: dict[str, Any] = field(default_factory=dict)
 
     def nbytes(self) -> int:
         extra = 0
@@ -113,4 +126,5 @@ class ReplyHeader:
             extra = 32 + len(self.exception[1])
         elif isinstance(self.exception, str):
             extra = len(self.exception)
-        return 64 + len(self.scalar_results) + 24 * len(self.dseq_outs) + extra
+        return (64 + len(self.scalar_results) + 24 * len(self.dseq_outs)
+                + 24 * len(self.service_contexts) + extra)

@@ -86,7 +86,7 @@ class Simulation:
         ))
         self.orb.agent(host)  # ensure an agent exists on the server's host
 
-    # -- observability ----------------------------------------------------------------
+    # -- observability / interception --------------------------------------------------
 
     def attach_observer(self, label: str = ""):
         """Install a request-lifecycle observer (see
@@ -94,6 +94,11 @@ class Simulation:
         from ..tools.observe import attach_observer
 
         return attach_observer(self.world, label=label)
+
+    def register_interceptor(self, icept):
+        """Register a portable interceptor (see
+        :mod:`repro.core.pipeline`) on this world's ORB; returns it."""
+        return self.orb.register_interceptor(icept)
 
     # -- execution --------------------------------------------------------------------
 

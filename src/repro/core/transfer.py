@@ -88,6 +88,37 @@ def schedule(src: Distribution, dst: Distribution) -> list[TransferItem]:
     return items
 
 
+#: Memoized schedules keyed by the (kind, n, p, parts) identity of both
+#: distributions.  The request path recomputes identical schedules for
+#: every invocation of the same operation; the cache turns that into one
+#: dict lookup.  Bounded FIFO eviction keeps it from growing with the
+#: number of distinct layouts, not the number of requests.
+_SCHEDULE_CACHE: dict[tuple, tuple] = {}
+_SCHEDULE_CACHE_MAX = 512
+
+
+def _dist_key(d: Distribution) -> tuple:
+    return (d.kind, d.n, d.p, d.parts)
+
+
+def cached_schedule(src: Distribution, dst: Distribution) -> list[TransferItem]:
+    """Memoizing :func:`schedule`.  Returns a shared list — callers must
+    not mutate it.  The schedule observer is notified on hits as well, so
+    its counters keep counting logical schedule computations."""
+    key = (_dist_key(src), _dist_key(dst))
+    hit = _SCHEDULE_CACHE.get(key)
+    if hit is not None:
+        items, nfrag, nelem = hit
+        if _OBSERVER is not None:
+            _OBSERVER.on_schedule(nfrag, nelem)
+        return items
+    items = schedule(src, dst)
+    if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+        _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
+    _SCHEDULE_CACHE[key] = (items, len(items), sum(t.size for t in items))
+    return items
+
+
 def outgoing(sched: list[TransferItem], rank: int) -> list[TransferItem]:
     """The fragments ``rank`` must send (excluding rank-local ones)."""
     return [t for t in sched if t.src_rank == rank and t.dst_rank != rank]

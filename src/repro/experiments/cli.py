@@ -11,7 +11,6 @@ Regenerate any paper figure from a shell::
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import Optional
 
 from .common import format_table

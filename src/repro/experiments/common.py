@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Sequence
 
 
 def format_table(rows: Sequence, title: str = "",

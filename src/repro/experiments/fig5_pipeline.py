@@ -29,7 +29,6 @@ from ..apps.diffusion import diffusion_client_main
 from ..apps.gradient import gradient_server_main, parallel_magnitude_gradient
 from ..apps.interfaces import PIPELINE_N, pipeline_stubs
 from ..apps.visualizer import visualizer_server_main
-from ..packages.pstl import DVector
 
 PAPER_PROCS = tuple(range(1, 9))
 PAPER_STEPS = 100

@@ -14,7 +14,7 @@ import sys
 import types
 from typing import Callable, Mapping, Optional, Union
 
-from .codegen import PACKAGE_OPTIONS, generate_source
+from .codegen import generate_source
 from .lexer import IdlSyntaxError
 from .parser import parse
 from .semantics import CompiledSpec, IdlSemanticError, analyze

@@ -26,10 +26,12 @@ encoder/decoder, transfer-schedule counters, and — when a
 — per-node compute utilization.  One ``world.services["observer"]``
 object therefore answers "where did this request spend its time".
 
-Instrumentation is **off by default**: every hook site in the ORB guards
-on ``observer is not None`` (one attribute load + identity check), so the
-hot paths the benchmarks measure are unaffected until
-:func:`attach_observer` is called.
+Instrumentation is **off by default**: the observer receives the ORB's
+span feed as a *portable interceptor* (the span-sink hooks of
+``repro.core.pipeline``), so the hot paths the benchmarks measure are
+unaffected until :func:`attach_observer` registers it on the chain —
+an empty chain costs one attribute load plus a truthiness check per
+hook site.
 
 Exports: Chrome-trace JSON (load ``chrome://tracing`` or
 https://ui.perfetto.dev) via :meth:`RequestObserver.chrome_trace`, and a
@@ -43,11 +45,15 @@ import json
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
+from ..core.pipeline.interceptors import (
+    RequestInterceptor as RequestInterceptorBase,
+)
 from .metrics import ComputeMeter
 from .trace import PacketTrace
 
 __all__ = [
     "Span",
+    "ObserverInterceptor",
     "RequestObserver",
     "TraceSession",
     "attach_observer",
@@ -72,7 +78,8 @@ class Span:
     """One recorded phase of one request on one computing thread.
 
     Times are virtual seconds; ``req`` is the stringified request id
-    (``"local"`` for bypassed invocations, which have none).
+    (bypassed invocations draw theirs from the same per-binding sequence
+    and appear with the single ``local`` phase).
     """
 
     phase: str
@@ -337,13 +344,37 @@ class RequestObserver:
 # ---------------------------------------------------------------------------
 
 
+class ObserverInterceptor(RequestInterceptorBase):
+    """Span-sink adapter: feeds the ORB's request-lifecycle events (the
+    interceptor chain's ``on_span``/``on_request_*`` hooks) into a
+    :class:`RequestObserver`.  It implements none of the five
+    interception points, so it never perturbs request semantics."""
+
+    name = "request-observer"
+
+    def __init__(self, observer: RequestObserver) -> None:
+        self.observer = observer
+
+    def on_span(self, phase, op, req, program, rank, t0, t1,
+                nbytes=0) -> None:
+        self.observer.span(phase, op, req, program, rank, t0, t1, nbytes)
+
+    def on_request_started(self, req, op, program, rank, t0) -> None:
+        self.observer.request_started(req, op, program, rank, t0)
+
+    def on_request_finished(self, req, program, rank, t1,
+                            status="ok") -> None:
+        self.observer.request_finished(req, program, rank, t1, status)
+
+
 def attach_observer(world, label: str = "") -> RequestObserver:
     """Install a :class:`RequestObserver` on a world (before ``run()``).
 
-    Registers it as ``world.services["observer"]``, points the ORB's hook
-    sites at it, subscribes its packet trace to the transport, installs
-    the CDR byte meter and the transfer-schedule hook, and picks up a
-    previously attached :class:`ComputeMeter` if one exists.
+    Registers it as ``world.services["observer"]``, registers an
+    :class:`ObserverInterceptor` on the ORB's interceptor chain (the span
+    feed), subscribes its packet trace to the transport, installs the CDR
+    byte meter and the transfer-schedule hook, and picks up a previously
+    attached :class:`ComputeMeter` if one exists.
     """
     from ..cdr.encoder import set_marshal_meter
     from ..core import transfer as _transfer
@@ -353,6 +384,7 @@ def attach_observer(world, label: str = "") -> RequestObserver:
     orb = world.services.get("orb")
     if orb is not None:
         orb.observer = obs
+        obs._interceptor = orb.register_interceptor(ObserverInterceptor(obs))
     world.transport.observers.append(obs.packet_trace)
     obs.meter = world.services.get("compute_meter")
     set_marshal_meter(obs)
@@ -371,6 +403,9 @@ def detach_observer(world) -> Optional[RequestObserver]:
     orb = world.services.get("orb")
     if orb is not None and orb.observer is obs:
         orb.observer = None
+    icept = getattr(obs, "_interceptor", None)
+    if orb is not None and icept is not None and icept in orb.interceptors:
+        orb.unregister_interceptor(icept)
     try:
         world.transport.observers.remove(obs.packet_trace)
     except ValueError:

@@ -1,6 +1,5 @@
 """Correctness tests for the DNA matchers and database servants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.dnadb import (

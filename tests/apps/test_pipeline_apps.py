@@ -7,7 +7,6 @@ from repro.core import Simulation
 from repro.experiments.fig5_pipeline import _network
 from repro.apps.diffusion import diffusion_client_main, initial_condition
 from repro.apps.gradient import gradient_server_main, parallel_magnitude_gradient
-from repro.apps.interfaces import pipeline_stubs
 from repro.apps.visualizer import visualizer_server_main
 from repro.packages.pooma.stencil import magnitude_gradient
 from repro.packages.pstl import DVector

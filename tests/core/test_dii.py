@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     BadOperation,
-    Future,
     InterfaceRepository,
     Simulation,
     dynamic_bind,

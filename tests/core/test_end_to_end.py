@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    CollectiveMismatch,
-    Distribution,
     Future,
     ObjectNotFound,
     OrbConfig,

@@ -4,13 +4,11 @@
 import numpy as np
 import pytest
 
-from repro.core import OrbConfig, Simulation
-from repro.core.distribution import Distribution
-from repro.core.dsequence import DistributedSequence
+from repro.core import Simulation
 from repro.core.stubapi import register_adapter
 from repro.idl import compile_idl
-from repro.netsim import ATM_155, Host, Network
-from repro.runtime import MPIRuntime, World
+from repro.netsim import Host, Network
+from repro.runtime import World
 
 
 class TestTimeSharedHosts:

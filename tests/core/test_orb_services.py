@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     ActivationError,
-    BindingError,
     ObjectNotFound,
     OrbConfig,
     Simulation,
@@ -232,7 +231,6 @@ class TestFlowControl:
         """With one outstanding request per binding (the default), a new
         non-blocking invocation blocks until the previous reply — the
         §4.3 congestion mechanism."""
-        import math
 
         sim = Simulation(config=OrbConfig(max_outstanding=1))
         mod_slow = mod

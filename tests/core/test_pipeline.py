@@ -1,0 +1,578 @@
+"""The protocol pipeline: portable interceptors, service contexts,
+deadline propagation, fault injection, partial-failure handling, and the
+request state machines' failure edges."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BindingError,
+    DeadlineInterceptor,
+    Distribution,
+    FaultInjectionInterceptor,
+    Future,
+    InterceptorChain,
+    OrbConfig,
+    RequestInterceptor,
+    Simulation,
+    SystemException,
+)
+from repro.idl import compile_idl
+
+IDL = """
+    typedef dsequence<double, 100000> vec;
+    interface pipesvc {
+        double total(in vec v);
+        void scale(in double k, in vec v, out vec w);
+        long add(in long a, in long b);
+        double poke(in double delay);
+        long boom(in long x);
+        void pair(in long x, out long a, out long b);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="pipeline_stubs")
+
+
+def make_impl(mod, fail_ranks=()):
+    class Impl(mod.pipesvc_skel):
+        def __init__(self, ctx):
+            self.ctx = ctx
+
+        def total(self, v):
+            from repro.runtime import collectives as coll
+
+            local = float(np.sum(v.owned_data))
+            return coll.allreduce(self.ctx.rts, local, lambda a, b: a + b)
+
+        def scale(self, k, v):
+            if self.ctx.rank in fail_ranks:
+                raise RuntimeError(f"rank {self.ctx.rank} failed")
+            from repro.core import DistributedSequence
+
+            return DistributedSequence(v.element, v.dist, v.rank,
+                                       np.asarray(v.owned_data) * k)
+
+        def add(self, a, b):
+            return a + b
+
+        def poke(self, delay):
+            self.ctx.compute(delay)
+            return float(delay)
+
+        def boom(self, x):
+            raise RuntimeError("kaboom")
+
+        def pair(self, x):
+            raise RuntimeError("kaboom")
+
+    return Impl
+
+
+def build(mod, *, server_np=1, config=None, fail_ranks=()):
+    sim = Simulation(config=config)
+    impl = make_impl(mod, fail_ranks)
+
+    def server_main(ctx):
+        ctx.poa.activate(impl(ctx), "pipes", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(server_main, host="HOST_2", nprocs=server_np)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# Interceptor chain mechanics
+# ---------------------------------------------------------------------------
+
+
+class Recorder(RequestInterceptor):
+    """Appends (tag, point, op) for every interception point it sees."""
+
+    def __init__(self, tag, log):
+        self.tag = tag
+        self.log = log
+        self.name = f"recorder-{tag}"
+
+    def send_request(self, info):
+        self.log.append((self.tag, "send_request", info.op_name))
+
+    def receive_reply(self, info):
+        self.log.append((self.tag, "receive_reply", info.op_name))
+
+    def receive_exception(self, info):
+        self.log.append((self.tag, "receive_exception", info.op_name))
+
+    def receive_request(self, info):
+        self.log.append((self.tag, "receive_request", info.op_name))
+
+    def send_reply(self, info):
+        self.log.append((self.tag, "send_reply", info.op_name))
+
+
+def test_chain_registration_errors():
+    chain = InterceptorChain()
+    assert len(chain) == 0 and not chain.active and not chain.wants_spans
+    icept = RequestInterceptor()
+    chain.add(icept)
+    assert chain.active and icept in chain
+    with pytest.raises(BindingError):
+        chain.add(icept)
+    chain.remove(icept)
+    assert not chain.active
+    with pytest.raises(BindingError):
+        chain.remove(icept)
+
+
+def test_chain_span_flag_tracks_sink_overrides():
+    class SpanSink(RequestInterceptor):
+        def on_span(self, *a, **k):
+            pass
+
+    chain = InterceptorChain([RequestInterceptor()])
+    assert chain.active and not chain.wants_spans
+    sink = chain.add(SpanSink())
+    assert chain.wants_spans
+    chain.remove(sink)
+    assert not chain.wants_spans
+
+
+def test_points_fire_in_registration_order(mod):
+    sim = build(mod)
+    log = []
+    sim.register_interceptor(Recorder("A", log))
+    sim.register_interceptor(Recorder("B", log))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        out["v"] = srv.add(2, 3)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 5
+    points = {p for _t, p, _o in log}
+    assert points == {"send_request", "receive_request", "send_reply",
+                      "receive_reply"}
+    for point in points:
+        tags = [t for t, p, _o in log if p == point]
+        assert tags == ["A", "B"]
+
+
+def test_service_contexts_round_trip_on_the_wire(mod):
+    """Request contexts set in send_request surface in receive_request;
+    reply contexts set server-side surface in receive_reply."""
+
+    class ContextEcho(RequestInterceptor):
+        name = "ctx-echo"
+
+        def __init__(self):
+            self.seen = {}
+
+        def send_request(self, info):
+            info.service_contexts["trace-id"] = ("trace", info.req_id[-1])
+
+        def receive_request(self, info):
+            self.seen["server"] = info.service_contexts.get("trace-id")
+            info.reply_service_contexts["server-note"] = "pong"
+
+        def receive_reply(self, info):
+            self.seen["client"] = info.reply_service_contexts.get(
+                "server-note")
+
+    sim = build(mod)
+    echo = sim.register_interceptor(ContextEcho())
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        srv.add(1, 1)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert echo.seen["server"] is not None
+    assert echo.seen["server"][0] == "trace"
+    assert echo.seen["client"] == "pong"
+
+
+# ---------------------------------------------------------------------------
+# Deadline propagation
+# ---------------------------------------------------------------------------
+
+
+def test_expired_deadline_is_shed_promptly(mod):
+    """A request whose propagated deadline passed in transit is rejected
+    at the POA: the client sees a SystemException long before its own
+    request_timeout would fire."""
+    sim = build(mod, config=OrbConfig(request_timeout=60.0))
+    dl = sim.register_interceptor(DeadlineInterceptor(budget=1e-9))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        t0 = ctx.now()
+        with pytest.raises(SystemException, match="shed"):
+            srv.add(1, 1)
+        out["elapsed"] = ctx.now() - t0
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert dl.shed_count == 1
+    assert out["elapsed"] < 1.0  # nowhere near the 60 s timeout
+
+
+def test_deadline_within_budget_passes_through(mod):
+    sim = build(mod, config=OrbConfig(request_timeout=60.0))
+    dl = sim.register_interceptor(DeadlineInterceptor(budget=30.0))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        out["v"] = srv.add(20, 22)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 42
+    assert dl.shed_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+def test_fault_at_send_request_aborts_before_sending(mod):
+    sim = build(mod)
+    faults = sim.register_interceptor(FaultInjectionInterceptor())
+    rule = faults.inject("send_request", op="add", times=1)
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        sent_before = ctx.orb.requests_sent
+        with pytest.raises(SystemException, match="injected fault"):
+            srv.add(1, 2)
+        out["sent_during"] = ctx.orb.requests_sent - sent_before
+        out["retry"] = srv.add(1, 2)  # rule exhausted: goes through
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert rule.fired == 1
+    assert out["sent_during"] == 0  # aborted before wire injection
+    assert out["retry"] == 3
+
+
+def test_fault_at_send_request_fails_nonblocking_future(mod):
+    sim = build(mod)
+    faults = sim.register_interceptor(FaultInjectionInterceptor())
+    faults.inject("send_request", op="add", times=1)
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        fut = srv.add_nb(1, 2)
+        out["resolved"] = fut.resolved()
+        try:
+            fut.value()
+        except SystemException as exc:
+            out["error"] = str(exc)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["resolved"] is True
+    assert "injected fault" in out["error"]
+
+
+def test_fault_at_receive_reply_turns_success_into_failure(mod):
+    sim = build(mod)
+    faults = sim.register_interceptor(FaultInjectionInterceptor())
+    faults.inject("receive_reply", op="add", times=1)
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        with pytest.raises(SystemException, match="injected fault"):
+            srv.add(1, 2)
+        out["retry"] = srv.add(2, 2)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["retry"] == 4
+
+
+def test_fault_at_send_reply_becomes_error_reply(mod):
+    sim = build(mod)
+    faults = sim.register_interceptor(FaultInjectionInterceptor())
+    faults.inject("send_reply", op="add", times=1)
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        with pytest.raises(SystemException, match="injected fault"):
+            srv.add(1, 2)
+        out["retry"] = srv.add(3, 3)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["retry"] == 6
+
+
+def test_shed_request_dead_letters_orphaned_fragments(mod):
+    """A request rejected before argument collection leaves its argument
+    fragments in flight; the POA drains them so later requests on the
+    same channel are untouched."""
+    sim = build(mod)
+    faults = sim.register_interceptor(FaultInjectionInterceptor())
+    faults.inject("receive_request", op="total", times=1)
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        with pytest.raises(SystemException, match="injected fault"):
+            srv.total(mod.vec(np.arange(16.0)))
+        # The orphaned fragment of the shed request must not disturb
+        # subsequent distributed-argument traffic.
+        out["second"] = srv.total(mod.vec(np.arange(16.0)))
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["second"] == float(sum(range(16)))
+    assert sim.orb.dead_fragments == 1
+
+
+def test_fault_rule_validation():
+    faults = FaultInjectionInterceptor()
+    with pytest.raises(ValueError, match="unknown interception point"):
+        faults.inject("before_dinner")
+    rule = faults.inject("send_request", times=None)
+    assert rule.matches("send_request", "anything")
+    faults.reset()
+    assert not faults.rules
+
+
+# ---------------------------------------------------------------------------
+# SPMD partial failure
+# ---------------------------------------------------------------------------
+
+
+def test_spmd_partial_failure_fails_promptly(mod):
+    """A non-root server thread that raises on a fragment-bearing op used
+    to leave the client waiting for fragments until request_timeout; the
+    supplementary peer_exception reply makes it fail promptly."""
+    sim = build(mod, server_np=2, fail_ranks=(1,),
+                config=OrbConfig(request_timeout=60.0))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        v = mod.vec(np.arange(32.0))
+        t0 = ctx.now()
+        with pytest.raises(SystemException,
+                           match="partial failure|failed on"):
+            srv.scale(2.0, v)
+        out["elapsed"] = ctx.now() - t0
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["elapsed"] < 1.0  # nowhere near the 60 s timeout
+
+
+def test_spmd_partial_failure_fails_nonblocking_future(mod):
+    sim = build(mod, server_np=2, fail_ranks=(1,),
+                config=OrbConfig(request_timeout=60.0))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        w = Future()
+        srv.scale_nb(2.0, mod.vec(np.arange(32.0)), w)
+        t0 = ctx.now()
+        with pytest.raises(SystemException):
+            w.value()
+        out["elapsed"] = ctx.now() - t0
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["elapsed"] < 1.0
+
+
+def test_spmd_all_ranks_healthy_still_works(mod):
+    sim = build(mod, server_np=2)
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        w = srv.scale(2.0, mod.vec(np.arange(32.0)))
+        out["sum"] = float(np.sum(w.gather(ctx.rts)))
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["sum"] == 2.0 * sum(range(32))
+
+
+# ---------------------------------------------------------------------------
+# Timeout completes the request (progress/wait regression)
+# ---------------------------------------------------------------------------
+
+
+def test_timeout_completes_progress(mod):
+    """progress(block=True) returns True when the timeout *completes* the
+    request (by failing it) — it used to report False, leaving callers
+    thinking the request was still in flight."""
+    sim = build(mod, config=OrbConfig(request_timeout=0.25))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        fut = srv.poke_nb(10.0)
+        state = next(iter(ctx.pending.values()))
+        out["ret"] = state.progress(block=True)
+        out["done"] = state.done
+        out["failed"] = isinstance(state.error, SystemException)
+        out["resolved"] = fut.resolved()
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out == {"ret": True, "done": True, "failed": True,
+                   "resolved": True}
+
+
+def test_timeout_raises_through_wait(mod):
+    sim = build(mod, config=OrbConfig(request_timeout=0.25))
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        fut = srv.poke_nb(10.0)
+        with pytest.raises(SystemException, match="timed out"):
+            fut.wait()
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+
+
+def test_timeout_raises_through_blocking_invoke(mod):
+    sim = build(mod, config=OrbConfig(request_timeout=0.25))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        t0 = ctx.now()
+        with pytest.raises(SystemException, match="timed out"):
+            srv.poke(10.0)
+        out["elapsed"] = ctx.now() - t0
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["elapsed"] == pytest.approx(0.25, rel=0.1)
+
+
+# ---------------------------------------------------------------------------
+# Local bypass failure semantics
+# ---------------------------------------------------------------------------
+
+
+def _local_program(mod, body, out):
+    """A single program that activates the servant and binds to it, so
+    every invocation takes the §4.1 local bypass."""
+
+    def prog(ctx):
+        ctx.poa.activate(make_impl(mod)(ctx), "pipes", kind="spmd")
+        srv = mod.pipesvc._bind("pipes")
+        assert srv._binding.local
+        body(ctx, srv)
+
+    return prog
+
+
+def test_local_bypass_blocking_failure_raises(mod):
+    sim = Simulation()
+    out = {}
+
+    def body(ctx, srv):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            srv.boom(1)
+        out["ok"] = srv.add(1, 1)
+        out["bypasses"] = ctx.orb.local_bypasses
+
+    sim.client(_local_program(mod, body, out), host="HOST_1")
+    sim.run()
+    assert out["ok"] == 2
+    assert out["bypasses"] == 2  # boom + add, both bypassed
+
+
+def test_local_bypass_nonblocking_failure_fails_futures(mod):
+    sim = Simulation()
+    out = {}
+
+    def body(ctx, srv):
+        fut = srv.boom_nb(1)
+        out["resolved"] = fut.resolved()
+        try:
+            fut.value()
+        except RuntimeError as exc:
+            out["error"] = str(exc)
+        a, b = Future(), Future()
+        ret = srv.pair_nb(1, a, b)
+        for key, f in (("ret", ret), ("a", a), ("b", b)):
+            try:
+                f.value()
+            except RuntimeError:
+                out[key] = "failed"
+
+    sim.client(_local_program(mod, body, out), host="HOST_1")
+    sim.run()
+    assert out["resolved"] is True
+    assert out["error"] == "kaboom"
+    assert out["ret"] == out["a"] == out["b"] == "failed"
+
+
+def test_local_bypass_failure_reaches_observer(mod):
+    sim = Simulation()
+    obs = sim.attach_observer()
+    out = {}
+
+    def body(ctx, srv):
+        with pytest.raises(RuntimeError):
+            srv.boom(1)
+        out["ok"] = srv.add(3, 4)
+
+    sim.client(_local_program(mod, body, out), host="HOST_1")
+    sim.run()
+    statuses = sorted(rec[3] for rec in obs.requests.values())
+    assert statuses == ["failed", "ok"]
+    assert {s.phase for s in obs.spans} == {"local"}
+
+
+# ---------------------------------------------------------------------------
+# Schedule memoization
+# ---------------------------------------------------------------------------
+
+
+def test_cached_schedule_memoizes_and_notifies_observer():
+    from repro.core import transfer
+
+    src = Distribution.of_kind("BLOCK", 64, 2)
+    dst = Distribution.of_kind("CYCLIC", 64, 2)
+    first = transfer.cached_schedule(src, dst)
+    again = transfer.cached_schedule(Distribution.of_kind("BLOCK", 64, 2),
+                                     Distribution.of_kind("CYCLIC", 64, 2))
+    assert again is first  # structurally-equal dists hit the cache
+    assert first == transfer.schedule(src, dst)
+
+    class Counting:
+        def __init__(self):
+            self.calls = 0
+
+        def on_schedule(self, nfrag, nelem):
+            self.calls += 1
+
+    counting = Counting()
+    transfer.set_observer(counting)
+    try:
+        transfer.cached_schedule(src, dst)
+        transfer.cached_schedule(src, dst)
+    finally:
+        transfer.set_observer(None)
+    assert counting.calls == 2  # hits still count as logical schedules

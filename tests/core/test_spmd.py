@@ -9,7 +9,6 @@ from repro.core import (
     Distribution,
     DistributedSequence,
     Future,
-    OrbConfig,
     Simulation,
 )
 from repro.idl import compile_idl

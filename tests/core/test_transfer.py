@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.distribution import Distribution
 from repro.core.transfer import (
-    TransferItem,
     extract,
     incoming,
     insert,

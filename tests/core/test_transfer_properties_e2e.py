@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import Distribution, Simulation
+from repro.core import Simulation
 from repro.idl import compile_idl
 
 IDL = """

@@ -5,7 +5,7 @@ import sys
 
 import pytest
 
-from repro.netsim import ATM_155, Host, Network
+from repro.netsim import Network
 from repro.experiments.fig5_pipeline import run_overall
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core import OrbConfig
 from repro.experiments.fig5_pipeline import (
     Fig5Row,
-    run_diffusion_alone,
     run_fig5,
     run_gradient_alone,
     run_overall,

@@ -2,7 +2,6 @@
 
 from dataclasses import dataclass
 
-import pytest
 
 from repro.experiments.plotting import ascii_chart, chart_rows
 

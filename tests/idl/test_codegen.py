@@ -5,7 +5,7 @@ import sys
 
 import pytest
 
-from repro.cdr import DSequenceTC, SequenceTC, StructTC, TC_DOUBLE, TC_LONG
+from repro.cdr import DSequenceTC, SequenceTC, TC_DOUBLE, TC_LONG
 from repro.idl import IdlSemanticError, compile_idl, generate
 
 

@@ -9,7 +9,6 @@ from repro.idl.lexer import (
     T_INT,
     T_KEYWORD,
     T_PRAGMA,
-    T_PUNCT,
     T_STRING,
     tokenize,
     unescape_string,

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.netsim import (
-    ANY,
-    ATM_155,
     Address,
     Host,
     LinkProfile,

@@ -8,7 +8,6 @@ from repro.netsim import ANY
 from repro.runtime import ReservedTagError, PARDIS_TAG_BASE
 from repro.runtime.tulip import OneSidedError, TulipRuntime
 
-from .conftest import make_world
 
 
 def run_spmd(world, nprocs, main, rts_factory, host="hostA", args=()):

@@ -10,7 +10,6 @@ from repro.idl import compile_idl
 from repro.tools import (
     RequestObserver,
     TraceSession,
-    attach_observer,
     detach_observer,
     validate_chrome_trace,
 )
