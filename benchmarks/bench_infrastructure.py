@@ -147,3 +147,62 @@ def test_end_to_end_invocation_wallclock(benchmark):
         return out["done"]
 
     assert benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+DSEQ_IDL = """
+    typedef dsequence<double, 1000000> vec;
+    interface bulk { double total(in vec v); };
+"""
+
+
+@pytest.mark.benchmark(group="infra-invocation")
+@pytest.mark.parametrize("n", [65_536])
+def test_end_to_end_dseq_invocation_wallclock(benchmark, request, n):
+    """Wall-clock cost of 20 invocations each shipping a 512 KiB
+    distributed argument — the fragment lane end to end (encode →
+    transport → decode → insert).  Run with ``--fast-path off`` for the
+    zero-copy ablation; the lane taken is recorded in ``extra_info``.
+    """
+    import numpy as np
+
+    from repro.core import OrbConfig, Simulation
+
+    mod = compile_idl(DSEQ_IDL, module_name="bench_dseq_stubs")
+
+    def run():
+        sim = Simulation(config=OrbConfig(max_outstanding=4))
+
+        def server_main(ctx):
+            class Impl(mod.bulk_skel):
+                def total(self, v):
+                    return float(np.sum(v.owned_data))
+
+            ctx.poa.activate(Impl(), "bulk", kind="spmd")
+            ctx.poa.impl_is_ready()
+
+        sim.server(server_main, host="HOST_2", nprocs=1)
+        out = {}
+
+        def client(ctx):
+            prx = mod.bulk._bind("bulk")
+            data = mod.vec(np.arange(float(n)))
+            out["total"] = [prx.total(data) for _ in range(20)][-1]
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        stats = sim.world.transport.buffer_pool.stats
+        out["stats"] = stats.snapshot()
+        return out
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert out["total"] == float(n) * (n - 1) / 2
+    lane = request.config.getoption("--fast-path")
+    benchmark.extra_info["fast_path"] = lane
+    benchmark.extra_info["fast_encodes"] = out["stats"]["fast_encodes"]
+    benchmark.extra_info["fallback_encodes"] = out["stats"]["fallback_encodes"]
+    # Every borrowed payload buffer must have come back.
+    assert (out["stats"]["borrows"] == out["stats"]["returns"])
+    if lane == "on":
+        assert out["stats"]["fast_encodes"] == 20
+    else:
+        assert out["stats"]["fast_encodes"] == 0

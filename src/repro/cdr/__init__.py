@@ -5,11 +5,23 @@ marshaling routines serve both network transport and transport within a
 parallel program's communication domain (paper §4.1).
 """
 
-from .decoder import CdrDecoder, decode
+from .buffers import (
+    BufferPool,
+    PooledBuffer,
+    ZeroCopyStats,
+    fast_path,
+    fast_path_enabled,
+    get_pool,
+    set_fast_path,
+    set_pool,
+)
+from .decoder import CdrDecoder, decode, decode_bulk_payload
 from .encoder import (
     CdrEncoder,
     MarshalError,
+    bulk_header_size,
     encode,
+    encode_bulk_payload,
     get_marshal_meter,
     set_marshal_meter,
 )
@@ -42,6 +54,7 @@ from .typecodes import ObjectRefTC, UnionTC
 
 __all__ = [
     "ArrayTC",
+    "BufferPool",
     "CdrDecoder",
     "CdrEncoder",
     "DSequenceTC",
@@ -49,6 +62,7 @@ __all__ = [
     "MarshalError",
     "ObjectRefTC",
     "PRIMITIVES",
+    "PooledBuffer",
     "PrimitiveTC",
     "SequenceTC",
     "StringTC",
@@ -66,10 +80,19 @@ __all__ = [
     "TC_USHORT",
     "TypeCode",
     "UnionTC",
+    "ZeroCopyStats",
+    "bulk_header_size",
     "decode",
+    "decode_bulk_payload",
     "encode",
+    "encode_bulk_payload",
+    "fast_path",
+    "fast_path_enabled",
     "get_marshal_meter",
+    "get_pool",
     "is_numeric_primitive",
+    "set_fast_path",
     "set_marshal_meter",
+    "set_pool",
     "wire_size",
 ]

@@ -7,6 +7,8 @@ from typing import Any
 
 import numpy as np
 
+from . import encoder as _encoder
+from .buffers import PooledBuffer
 from .encoder import MarshalError
 from .typecodes import (
     ArrayTC,
@@ -175,6 +177,52 @@ class CdrDecoder:
         if tc.bound is not None and n > tc.bound:
             raise MarshalError(f"sequence of {n} exceeds bound {tc.bound}")
         return [self.decode(tc.element) for _ in range(n)]
+
+
+def decode_bulk_payload(element: PrimitiveTC, payload) -> np.ndarray:
+    """Zero-copy lane: view a numeric fragment payload as an ndarray.
+
+    Accepts a :class:`~repro.cdr.buffers.PooledBuffer` lease or anything
+    exposing the buffer protocol (``bytes``, ``memoryview``).  Returns a
+    **read-only** ndarray aliasing the payload storage — no copy; the
+    caller must finish with the array before releasing the underlying
+    buffer.  Mirrors ``CdrDecoder.get_bulk`` except trailing bytes beyond
+    the declared count are tolerated (a pooled buffer's bucket capacity
+    can exceed the payload length).
+    """
+    pooled = type(payload) is PooledBuffer
+    if pooled:
+        if payload.released:
+            raise MarshalError("decode of a released PooledBuffer")
+        avail = payload.length
+        data = payload.data
+    else:
+        avail = len(payload)
+        data = payload
+    if avail < 4:
+        raise MarshalError(f"bulk payload of {avail} bytes has no length word")
+    (n,) = struct.unpack_from("<I", data, 0)
+    size = element.size
+    header = 4 + ((-4) % size)
+    end = header + n * size
+    if avail < end:
+        raise MarshalError(
+            f"buffer underrun: bulk payload declares {n} elements "
+            f"({end} bytes) but only {avail} are present"
+        )
+    if pooled:
+        pair = payload.views.get(element.name)
+        if pair is None:
+            pair = _encoder._make_views(payload.views, element, data, header)
+        arr = pair[1][:n]
+    else:
+        arr = np.frombuffer(data, dtype=element.dtype, count=n,
+                            offset=header)
+        if arr.flags.writeable:
+            arr.flags.writeable = False
+    if _encoder._MARSHAL_METER is not None:
+        _encoder._MARSHAL_METER.on_decode(end)
+    return arr
 
 
 def decode(tc: TypeCode, data: bytes) -> Any:

@@ -129,6 +129,8 @@ class ORB:
         self.local_bypasses = 0
         #: orphaned argument fragments drained by POA dead-lettering
         self.dead_fragments = 0
+        #: orphaned result fragments drained by a failed client request
+        self.dead_result_fragments = 0
         #: portable-interceptor chain shared by every program's request
         #: path in this world; empty by default (zero hot-path cost)
         self.interceptors = InterceptorChain(self.config.interceptors)

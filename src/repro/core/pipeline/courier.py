@@ -19,36 +19,88 @@ and client out-args).  The courier owns all four:
 
 ``transfer.extract`` and ``transfer.insert`` are called from nowhere
 else in the tree.
+
+Fragment payloads travel on one of two lanes.  The classic lane CDR-
+encodes ``sequence<element>`` into a fresh ``bytes``; the zero-copy lane
+(numeric elements, ndarray data, :func:`repro.cdr.fast_path_enabled`)
+writes the identical wire bytes once into a :class:`PooledBuffer` leased
+from the world transport's :class:`~repro.cdr.buffers.BufferPool` and
+decodes by aliasing, not copying.  The lease rides the
+:class:`~repro.core.request.Fragment`; whoever consumes (or discards)
+the fragment must call :func:`release_fragment`.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...cdr import CdrDecoder, CdrEncoder, SequenceTC, TypeCode
+from ...cdr import buffers as _buffers
 from ...cdr import encoder as _cdr_encoder
+from ...cdr.buffers import get_pool
+from ...cdr.decoder import decode_bulk_payload
+from ...cdr.encoder import encode_bulk_payload
+from ...cdr.typecodes import PrimitiveTC
 from ..distribution import Distribution
 from ..request import Fragment
 from .. import transfer as _transfer
 
 __all__ = ["FragmentCourier", "fragment_payload", "fragment_values",
-           "redistribute_exchange"]
+           "redistribute_exchange", "release_fragment"]
 
 
-def fragment_payload(element: TypeCode, values) -> bytes:
-    """CDR-encode one fragment's element run (``sequence<element>``)."""
+def fragment_payload(element: TypeCode, values, pool=None):
+    """Encode one fragment's element run (``sequence<element>``).
+
+    Returns ``bytes`` on the classic lane, or a ``PooledBuffer`` lease on
+    the zero-copy lane; both carry identical wire bytes.  The caller owns
+    a returned lease.
+    """
+    # Inlined fast_path_enabled()/is_numeric_primitive(): this dispatch
+    # runs once per fragment, squarely on the hot path.
+    if (_buffers._ENABLED and isinstance(values, np.ndarray)
+            and isinstance(element, PrimitiveTC) and element.name != "char"):
+        return encode_bulk_payload(element, values,
+                                   pool if pool is not None else get_pool())
     data = CdrEncoder().encode(SequenceTC(element), values).getvalue()
     meter = _cdr_encoder._MARSHAL_METER
     if meter is not None:
         meter.on_encode(len(data))
+    stats = (pool if pool is not None else get_pool()).stats
+    stats.fallback_encodes += 1
     return data
 
 
-def fragment_values(element: TypeCode, payload: bytes):
-    """Decode one fragment's element run."""
+def fragment_values(element: TypeCode, payload, pool=None):
+    """Decode one fragment's element run.
+
+    Zero-copy lane payloads come back as a read-only ndarray aliasing the
+    payload storage — consume it before releasing the buffer.
+    """
+    stats = (pool if pool is not None else get_pool()).stats
+    if (_buffers._ENABLED and isinstance(element, PrimitiveTC)
+            and element.name != "char"):
+        stats.fast_decodes += 1
+        return decode_bulk_payload(element, payload)
+    if not isinstance(payload, (bytes, bytearray, memoryview)):
+        payload = payload.tobytes()   # PooledBuffer sent while lane now off
     dec = CdrDecoder(payload)
     meter = _cdr_encoder._MARSHAL_METER
     if meter is not None:
         meter.on_decode(len(payload))
+    stats.fallback_decodes += 1
     return dec.decode(SequenceTC(element))
+
+
+def release_fragment(frag) -> None:
+    """Return a fragment's pooled payload, if it has one (else no-op).
+
+    Safe on ``bytes`` payloads and on already-released leases; every
+    fragment consumer and every drain path funnels through here.
+    """
+    release = getattr(getattr(frag, "payload", None), "release", None)
+    if release is not None:
+        release()
 
 
 class FragmentCourier:
@@ -70,6 +122,7 @@ class FragmentCourier:
         to the destination threads; returns the bytes injected."""
         sched = _transfer.cached_schedule(src_dist, dst_dist)
         src_addr = self.ctx.endpoint.address
+        pool = self.transport.buffer_pool
         nbytes = 0
         for item in sched:
             if item.src_rank != rank:
@@ -77,7 +130,7 @@ class FragmentCourier:
             values = _transfer.extract(src_dist, rank, local_data,
                                        item.intervals)
             frag = Fragment(req_id, param, rank, item.intervals,
-                            fragment_payload(element, values))
+                            fragment_payload(element, values, pool))
             frag_nb = frag.nbytes()
             self.transport.send(src_addr, endpoints[item.dst_rank], frag,
                                 tag=tag, nbytes=frag_nb, oneway=oneway)
@@ -111,10 +164,15 @@ class FragmentCourier:
 
     def insert_fragment(self, dist: Distribution, rank: int, local_data,
                         element: TypeCode, frag: Fragment) -> None:
-        """Insert one received fragment into local storage."""
-        values = fragment_values(element, frag.payload)
-        _transfer.insert(dist, rank, local_data, tuple(frag.intervals),
-                         values)
+        """Insert one received fragment into local storage, then return
+        its pooled payload (also on decode/insert failure)."""
+        pool = self.transport.buffer_pool
+        try:
+            values = fragment_values(element, frag.payload, pool)
+            _transfer.insert(dist, rank, local_data, tuple(frag.intervals),
+                             values)
+        finally:
+            release_fragment(frag)
 
 
 # ---------------------------------------------------------------------------
@@ -129,15 +187,13 @@ def redistribute_exchange(element: TypeCode, src_dist: Distribution,
     every thread ships its overlaps of ``src_dist -> dst_dist`` and
     collects what lands on it (the engine behind
     ``DistributedSequence.redistribute``)."""
-    from ...cdr import decode, encode
     from ...runtime.collectives import _next_tag
 
     sched = _transfer.cached_schedule(src_dist, dst_dist)
     tag = _next_tag(rts)
-    ftc = SequenceTC(element)
     for item in _transfer.outgoing(sched, rank):
         values = _transfer.extract(src_dist, rank, src_data, item.intervals)
-        payload = encode(ftc, values)
+        payload = fragment_payload(element, values)
         rts.send_reserved(item.dst_rank, (item.intervals, payload), tag,
                           nbytes=len(payload))
     for item in _transfer.local_items(sched, rank):
@@ -146,5 +202,11 @@ def redistribute_exchange(element: TypeCode, src_dist: Distribution,
     for _ in range(len(_transfer.incoming(sched, rank))):
         msg = rts.recv(tag=tag)
         intervals, payload = msg.payload
-        values = decode(ftc, payload)
-        _transfer.insert(dst_dist, rank, dst_data, tuple(intervals), values)
+        try:
+            values = fragment_values(element, payload)
+            _transfer.insert(dst_dist, rank, dst_data, tuple(intervals),
+                             values)
+        finally:
+            release = getattr(payload, "release", None)
+            if release is not None:
+                release()

@@ -61,7 +61,7 @@ from ..request import (
     build as build_dist,
     describe as describe_dist,
 )
-from .courier import FragmentCourier
+from .courier import FragmentCourier, release_fragment
 from .interceptors import ClientRequestInfo, ServerRequestInfo
 
 __all__ = ["ClientRequestState", "ServerRequestState"]
@@ -484,6 +484,26 @@ class ClientRequestState:
         for fut, val in zip(self.placeholders, out_values):
             fut._resolve(val)
 
+    def _drain_orphaned_results(self) -> None:
+        """Discard already-queued result fragments of this failed request
+        (releasing any pooled payload buffers).  Best effort: fragments
+        still in flight are matched by nothing once the request is
+        detached, and their leases are reclaimed by the GC."""
+        channel = self.ctx.endpoint.channel
+        req_id = self.req_id
+
+        def match(env):
+            pkt = env.payload
+            return (pkt.tag == TAG_RESULT_FRAGMENT
+                    and pkt.body.req_id == req_id)
+
+        while True:
+            env = channel.poll(match)
+            if env is None:
+                break
+            release_fragment(env.payload.body)
+            self.ctx.orb.dead_result_fragments += 1
+
     def _fail(self, exc: BaseException) -> None:
         if self.done:
             return
@@ -499,6 +519,7 @@ class ClientRequestState:
         self.done = True
         self.state = "done"
         self._detach()
+        self._drain_orphaned_results()
         if chain.wants_spans:
             chain.request_finished(self.req_id, self.ctx.program.name,
                                    self.binding.client_index,

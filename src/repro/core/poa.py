@@ -33,6 +33,7 @@ from ..runtime.program import PORT_ORB
 from ..runtime.tags import TAG_ARG_FRAGMENT, TAG_REQUEST_HEADER
 from .errors import BindingError, ObjectNotFound
 from .interfacedef import InterfaceDef, OpDef, ParamDef
+from .pipeline.courier import release_fragment
 from .pipeline.state import ServerRequestState
 from .repository import ObjectRef
 from .request import RequestHeader
@@ -212,7 +213,11 @@ class POA:
             return (pkt.tag == TAG_ARG_FRAGMENT
                     and pkt.body.req_id in dead)
 
-        while channel.poll(match) is not None:
+        while True:
+            env = channel.poll(match)
+            if env is None:
+                break
+            release_fragment(env.payload.body)
             self.ctx.orb.dead_fragments += 1
 
 

@@ -23,6 +23,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..cdr.buffers import BufferPool, PooledBuffer
 from ..simkernel import Channel, SimKernel
 from .topology import Network
 
@@ -75,6 +76,8 @@ def estimate_nbytes(obj: Any) -> int:
     if obj is None:
         return 16
     if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, PooledBuffer):
         return len(obj)
     if isinstance(obj, np.ndarray):
         return obj.nbytes
@@ -150,6 +153,10 @@ class Transport:
         #: additional packet observers (see repro.tools.observe); an empty
         #: list keeps the send path at one truthiness check
         self.observers: list = []
+        #: per-world pool the fragment courier leases payload buffers
+        #: from (see repro.cdr.buffers); world-scoped so concurrent
+        #: simulations never share (or skew the stats of) a pool
+        self.buffer_pool = BufferPool()
 
     def open(self, address: Address) -> Endpoint:
         """Create (or return) the endpoint bound to ``address``."""

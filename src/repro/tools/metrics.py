@@ -52,3 +52,17 @@ def attach_meter(world) -> ComputeMeter:
     meter = ComputeMeter()
     world.services["compute_meter"] = meter
     return meter
+
+
+def zero_copy_summary(stats) -> str:
+    """One-line summary of a :class:`repro.cdr.buffers.ZeroCopyStats`
+    (the zero-copy marshaling lane + its buffer pool)."""
+    borrows = stats.borrows
+    hit_pct = 100.0 * stats.pool_hits / borrows if borrows else 0.0
+    return (
+        f"zero-copy lane: {stats.fast_encodes} fast encodes "
+        f"({stats.bytes_fast} bytes), {stats.fast_decodes} fast decodes, "
+        f"{stats.fallback_encodes}/{stats.fallback_decodes} fallback "
+        f"enc/dec; pool: {borrows} leases, {hit_pct:.0f}% reuse, "
+        f"{stats.outstanding} outstanding"
+    )

@@ -127,6 +127,8 @@ class RequestObserver:
         self.cdr_bytes = {"encoded": 0, "decoded": 0}
         #: transfer-schedule counters (fed by repro.core.transfer)
         self.transfer = {"schedules": 0, "fragments": 0, "elements": 0}
+        #: the world transport's ZeroCopyStats (set by attach_observer)
+        self.zero_copy = None
 
     # -- recording (hot path; called only when an observer is attached) ----
 
@@ -328,6 +330,10 @@ class RequestObserver:
         lines.append(f"  transfer schedules: {self.transfer['schedules']} "
                      f"({self.transfer['fragments']} fragments, "
                      f"{self.transfer['elements']} elements)")
+        if self.zero_copy is not None:
+            from .metrics import zero_copy_summary
+
+            lines.append("  " + zero_copy_summary(self.zero_copy))
         if len(self.packet_trace):
             lines.append("  " + self.packet_trace.summary()
                          .replace("\n", "\n  "))
@@ -387,6 +393,7 @@ def attach_observer(world, label: str = "") -> RequestObserver:
         obs._interceptor = orb.register_interceptor(ObserverInterceptor(obs))
     world.transport.observers.append(obs.packet_trace)
     obs.meter = world.services.get("compute_meter")
+    obs.zero_copy = world.transport.buffer_pool.stats
     set_marshal_meter(obs)
     _transfer.set_observer(obs)
     return obs

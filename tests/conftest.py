@@ -1,0 +1,24 @@
+"""Shared test configuration.
+
+Registers Hypothesis settings profiles so the generative suites are
+deterministic and time-bounded in CI (fixed seed via ``derandomize``,
+bounded example counts) while staying exploratory for local runs.
+Select with ``HYPOTHESIS_PROFILE=ci|dev`` (default ``ci``).
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        max_examples=40,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", max_examples=100, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is an optional dep
+    pass

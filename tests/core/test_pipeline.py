@@ -342,6 +342,116 @@ def test_shed_request_dead_letters_orphaned_fragments(mod):
     assert sim.orb.dead_fragments == 1
 
 
+def test_interceptor_mutating_contexts_on_every_hook(mod):
+    """An interceptor that rewrites the context dicts at *every*
+    interception point must not corrupt the request, leak state across
+    requests, or disturb fragment-bearing (dsequence) operations."""
+
+    class Mutator(RequestInterceptor):
+        name = "mutator"
+
+        def __init__(self):
+            self.hops = []
+
+        def send_request(self, info):
+            info.service_contexts["hop"] = ("client-send",)
+
+        def receive_request(self, info):
+            info.service_contexts["hop"] += ("server-recv",)
+            info.service_contexts["noise"] = "x" * 64
+            info.reply_service_contexts["hops"] = info.service_contexts["hop"]
+
+        def send_reply(self, info):
+            # send_reply fires before the reply contexts are copied into
+            # the reply packet, so this append must reach the client.
+            info.reply_service_contexts["hops"] += ("server-send",)
+            info.reply_service_contexts["noise"] = None
+
+        def receive_reply(self, info):
+            self.hops.append(info.reply_service_contexts["hops"])
+            info.reply_service_contexts.clear()  # must not leak onward
+
+        def receive_exception(self, info):
+            self.hops.append(("exception", info.op_name))
+
+    sim = build(mod)
+    mut = sim.register_interceptor(Mutator())
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        out["total"] = srv.total(mod.vec(np.arange(16.0)))
+        out["add"] = srv.add(4, 5)
+        with pytest.raises(SystemException, match="kaboom"):
+            srv.boom(1)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out == {"total": float(sum(range(16))), "add": 9}
+    full_trip = ("client-send", "server-recv", "server-send")
+    assert mut.hops == [full_trip, full_trip, ("exception", "boom")]
+
+
+def test_deadline_expires_mid_fragment_transfer(mod):
+    """A deadline that expires while a dsequence argument's fragments are
+    still in flight: the header is shed at the POA and the orphaned
+    fragments are dead-lettered (releasing any pooled payload buffers)
+    instead of lingering on the channel."""
+    sim = build(mod, config=OrbConfig(request_timeout=60.0))
+    dl = sim.register_interceptor(DeadlineInterceptor(budget=1e-9))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        t0 = ctx.now()
+        with pytest.raises(SystemException, match="shed"):
+            srv.total(mod.vec(np.arange(48.0)))
+        # A second (header-only, also shed) request wakes the server
+        # loop, which sweeps any fragments that arrived after the shed.
+        with pytest.raises(SystemException, match="shed"):
+            srv.add(1, 1)
+        out["elapsed"] = ctx.now() - t0
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert dl.shed_count == 2
+    assert sim.orb.dead_fragments == 1
+    assert sim.world.transport.buffer_pool.stats.outstanding == 0
+    assert out["elapsed"] < 1.0
+
+
+@pytest.mark.parametrize("lane", [True, False],
+                         ids=["fast-path-on", "fast-path-off"])
+def test_dead_letter_drain_balances_pool_leases(mod, lane):
+    """The dead-letter sweep must release pooled fast-path payloads of
+    orphaned fragments; with the lane off the same drain handles plain
+    bytes payloads untouched."""
+    from repro.cdr import fast_path
+
+    with fast_path(lane):
+        sim = build(mod)
+        faults = sim.register_interceptor(FaultInjectionInterceptor())
+        faults.inject("receive_request", op="total", times=1)
+        out = {}
+
+        def client(ctx):
+            srv = mod.pipesvc._bind("pipes")
+            with pytest.raises(SystemException, match="injected fault"):
+                srv.total(mod.vec(np.arange(64.0)))
+            out["second"] = srv.total(mod.vec(np.arange(64.0)))
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+    stats = sim.world.transport.buffer_pool.stats
+    assert out["second"] == float(sum(range(64)))
+    assert sim.orb.dead_fragments == 1
+    assert stats.outstanding == 0  # drained fragment's lease came back
+    if lane:
+        assert stats.fast_encodes >= 2
+    else:
+        assert stats.fast_encodes == 0
+
+
 def test_fault_rule_validation():
     faults = FaultInjectionInterceptor()
     with pytest.raises(ValueError, match="unknown interception point"):
