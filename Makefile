@@ -3,7 +3,7 @@
 # editable builds need it); with wheel available, `pip install -e .`
 # works too.
 
-.PHONY: install test bench figures trace-demo all
+.PHONY: install test bench figures trace-demo trace-fig5-demo all
 
 install:
 	python setup.py develop
@@ -26,5 +26,16 @@ trace-demo:
 	require_phases=('marshal', 'send', 'wait', 'unmarshal', 'dispatch', \
 	'recv_args', 'compute', 'reply', 'transport')); \
 	print(f'fig2-trace.json: {n} events, schema ok')"
+
+# Distributed-tracing demo: run the Fig-5 three-world pipeline with
+# tracing + metrics on, print the stitched causal trees, and validate
+# that the Chrome trace carries cross-world flow arrows.
+trace-fig5-demo:
+	python -m repro.experiments --trace fig5-trace.json --trace-tree \
+	--metrics fig5-metrics.json fig5 --procs 2 --steps 10
+	python -c "import json; from repro.tools import validate_chrome_trace; \
+	n = validate_chrome_trace(json.load(open('fig5-trace.json')), \
+	require_flow_events=1); \
+	print(f'fig5-trace.json: {n} events, cross-world flows ok')"
 
 all: install test bench

@@ -24,6 +24,7 @@ from ..runtime import collectives as coll
 from .errors import BindingError, CollectiveMismatch
 from .futures import Future
 from .interfacedef import OpDef
+from .pipeline.interceptors import ClientRequestInfo
 from .pipeline.state import ClientRequestState
 from .repository import ObjectRef
 
@@ -136,9 +137,23 @@ def _invoke_local(binding: Binding, op: OpDef, in_values: tuple,
     if spans:
         chain.request_started(req_id, op.name, ctx.program.name,
                               binding.client_index, t0)
-    try:
-        result = getattr(servant, op.name)(*in_values)
-    except Exception as exc:
+    # The client interception points still frame the direct call
+    # (``info.local`` marks that nothing travels on the wire), so
+    # context-scoped interceptors see a balanced send/receive pair.
+    info = ClientRequestInfo(
+        ctx=ctx, op=op, req_id=req_id, object_name=binding.ref.name,
+        rank=binding.client_index, oneway=op.oneway, deadline=None,
+        local=True,
+    ) if chain.active else None
+
+    def _failed(exc: BaseException):
+        if info is not None:
+            info.exception = exc
+            try:
+                chain.receive_exception(info)
+            except Exception as replaced:
+                exc = replaced
+                info.exception = exc
         if spans:
             now = ctx.now()
             chain.span("local", op.name, req_id, ctx.program.name,
@@ -146,12 +161,28 @@ def _invoke_local(binding: Binding, op: OpDef, in_values: tuple,
             chain.request_finished(req_id, ctx.program.name,
                                    binding.client_index, now, "failed")
         if blocking:
-            raise
+            raise exc
         fut = Future(label=f"{op.name}(local)")
         fut._fail(exc)
         for ph in placeholders:
             ph._fail(exc)
         return fut
+
+    if info is not None:
+        try:
+            chain.send_request(info)
+        except Exception as exc:
+            return _failed(exc)
+    try:
+        result = getattr(servant, op.name)(*in_values)
+    except Exception as exc:
+        return _failed(exc)
+    if info is not None:
+        info.result = result
+        try:
+            chain.receive_reply(info)
+        except Exception as exc:
+            return _failed(exc)
     if spans:
         now = ctx.now()
         chain.span("local", op.name, req_id, ctx.program.name,

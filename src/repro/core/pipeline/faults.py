@@ -94,3 +94,9 @@ class FaultInjectionInterceptor(RequestInterceptor):
 
     def send_reply(self, info) -> None:
         self._fire("send_reply", info.op_name)
+
+    def finish_request(self, info) -> None:
+        # The chain swallows exceptions at this point (the request is
+        # already terminal); the rule's ``fired`` counter still proves
+        # that the completion notification ran.
+        self._fire("finish_request", info.op_name)

@@ -26,6 +26,12 @@ point                     side   fires
 ``send_reply``            server before the reply header leaves the
                                  authoring thread; may add reply
                                  ``service_contexts``
+``finish_request``        server when the dispatched request reaches a
+                                 terminal state on this thread — success,
+                                 shed, or servant failure alike.  Always
+                                 paired with ``receive_request``;
+                                 exceptions raised here are swallowed
+                                 (the request has already completed)
 ========================= ====== =========================================
 
 ``service_contexts`` is a plain ``str -> picklable`` dict carried on
@@ -60,7 +66,7 @@ __all__ = [
 ]
 
 CLIENT_POINTS = ("send_request", "receive_reply", "receive_exception")
-SERVER_POINTS = ("receive_request", "send_reply")
+SERVER_POINTS = ("receive_request", "send_reply", "finish_request")
 POINTS = CLIENT_POINTS + SERVER_POINTS
 
 #: span-sink protocol methods (the observability seam)
@@ -78,6 +84,10 @@ class ClientRequestInfo:
     rank: int                        # client thread index in the invocation
     oneway: bool
     deadline: Optional[float]        # absolute virtual-time reply deadline
+    #: True for a §4.1 local-bypass invocation: nothing travels on the
+    #: wire, so ``send_request`` mutations of ``service_contexts`` go
+    #: nowhere, but the points still fire around the direct call
+    local: bool = False
     #: request service contexts; mutations in ``send_request`` travel on
     #: the RequestHeader
     service_contexts: dict = field(default_factory=dict)
@@ -151,6 +161,11 @@ class RequestInterceptor:
 
     def send_reply(self, info: ServerRequestInfo) -> None:
         """Before the reply header is sent by the authoring thread."""
+
+    def finish_request(self, info: ServerRequestInfo) -> None:
+        """The dispatched request reached a terminal state on this
+        thread (fires exactly once per ``receive_request``, success and
+        failure alike); raising here is swallowed."""
 
     # -- span sinks (observability seam) -----------------------------------
 
@@ -258,6 +273,16 @@ class InterceptorChain:
     def send_reply(self, info: ServerRequestInfo) -> None:
         for icept in self._points["send_reply"]:
             icept.send_reply(info)
+
+    def finish_request(self, info: ServerRequestInfo) -> None:
+        """Completion notification: every registered hook runs even if an
+        earlier one raises (the request is already terminal, so failures
+        here must not disturb the server loop)."""
+        for icept in self._points["finish_request"]:
+            try:
+                icept.finish_request(info)
+            except Exception:
+                pass
 
     # -- span fan-out ------------------------------------------------------
 

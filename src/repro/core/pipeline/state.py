@@ -589,11 +589,10 @@ class ServerRequestState:
             self.is_root = True
 
         op = self.op = self.poa._resolve_op(record.iface, hdr, self.servant)
-        if spans:
-            # Covers the servant lookup and (on rank 0) the SPMD forward.
-            chain.span("dispatch", hdr.op, hdr.req_id, ctx.program.name,
-                       ctx.rank, t0, ctx.now())
         if op is None:
+            if spans:
+                chain.span("dispatch", hdr.op, hdr.req_id, ctx.program.name,
+                           ctx.rank, t0, ctx.now())
             self._reject(
                 SystemException(f"no operation {hdr.op!r} on {record.name!r}"),
                 wire_exc=f"no operation {hdr.op!r} on {record.name!r}",
@@ -605,15 +604,45 @@ class ServerRequestState:
             ctx=ctx, header=hdr, op=op, servant=self.servant,
             is_root=self.is_root,
         )
+        try:
+            self._run_dispatched(t0)
+        finally:
+            # The paired completion point: fires on success, shed and
+            # servant failure alike, so context-scoped interceptors
+            # (tracing) can unwind their per-thread state.
+            if chain.active:
+                chain.finish_request(info)
+
+    def _run_dispatched(self, t0: float) -> None:
+        """Everything between operation resolution and the terminal
+        state: interception, argument collection, the servant call, and
+        reply/result emission."""
+        ctx = self.ctx
+        hdr = self.hdr
+        op = self.op
+        info = self.info
+        chain = self.chain
+        spans = chain.wants_spans
         if chain.active:
             try:
                 chain.receive_request(info)
             except UserException as exc:
+                if spans:
+                    chain.span("dispatch", hdr.op, hdr.req_id,
+                               ctx.program.name, ctx.rank, t0, ctx.now())
                 self._reject(exc, user=True, orphaned=True)
                 return
             except Exception as exc:
+                if spans:
+                    chain.span("dispatch", hdr.op, hdr.req_id,
+                               ctx.program.name, ctx.rank, t0, ctx.now())
                 self._reject(exc, orphaned=True)
                 return
+        if spans:
+            # Covers the servant lookup, (on rank 0) the SPMD forward,
+            # operation resolution and the receive_request interceptors.
+            chain.span("dispatch", hdr.op, hdr.req_id, ctx.program.name,
+                       ctx.rank, t0, ctx.now())
 
         t_args0 = ctx.now() if spans else 0.0
         try:

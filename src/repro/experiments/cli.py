@@ -26,27 +26,43 @@ from .fig5_pipeline import (
 
 
 def _session(args):
-    """A TraceSession when ``--trace`` was given, else None."""
-    if not getattr(args, "trace", None):
+    """A TraceSession when any of ``--trace`` / ``--trace-tree`` /
+    ``--metrics`` was given, else None.  Distributed tracing is always
+    on for an observed session: it is what stitches cross-world spans
+    (and costs nothing measurable next to the observer itself)."""
+    trace = getattr(args, "trace", None)
+    trace_tree = getattr(args, "trace_tree", False)
+    metrics = getattr(args, "metrics", None)
+    if not (trace or trace_tree or metrics):
         return None
     from ..tools.observe import TraceSession
 
     # Fail fast on an unwritable path rather than after the whole sweep.
-    try:
-        with open(args.trace, "w"):
-            pass
-    except OSError as exc:
-        raise SystemExit(f"--trace: cannot write {args.trace!r}: {exc}")
+    for path, flag in ((trace, "--trace"), (metrics, "--metrics")):
+        if path is None:
+            continue
+        try:
+            with open(path, "w"):
+                pass
+        except OSError as exc:
+            raise SystemExit(f"{flag}: cannot write {path!r}: {exc}")
 
-    return TraceSession()
+    return TraceSession(tracing=True, metrics=bool(metrics))
 
 
 def _finish_trace(args, session, out: str) -> str:
     if session is None:
         return out
-    session.write(args.trace)
-    return (out + "\n\n" + session.report()
-            + f"\n\nchrome trace written to {args.trace}")
+    out += "\n\n" + session.report()
+    if getattr(args, "trace", None):
+        session.write(args.trace)
+        out += f"\n\nchrome trace written to {args.trace}"
+    if getattr(args, "trace_tree", False):
+        out += "\n\nstitched traces:\n" + session.trace_trees()
+    if getattr(args, "metrics", None):
+        session.write_metrics(args.metrics)
+        out += f"\n\nmetrics written to {args.metrics}"
+    return out
 
 
 def _fig2(args) -> str:
@@ -106,7 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--trace", metavar="OUT.json", default=None,
                     help="record every request's lifecycle and write a "
                          "Chrome-trace (chrome://tracing / Perfetto) JSON "
-                         "file, plus a latency/bytes report")
+                         "file with cross-world flow arrows, plus a "
+                         "latency/bytes report")
+    ap.add_argument("--trace-tree", action="store_true", dest="trace_tree",
+                    help="print each distributed trace as an indented "
+                         "causal tree with per-hop latency attribution")
+    ap.add_argument("--metrics", metavar="OUT", default=None,
+                    help="export the unified metrics registry after the "
+                         "run: *.prom gets Prometheus text exposition, "
+                         "anything else a JSON snapshot keyed by run")
     sub = ap.add_subparsers(dest="figure", required=True)
 
     p2 = sub.add_parser("fig2", help="concurrent solvers (§4.1)")

@@ -158,6 +158,11 @@ class Transport:
         #: simulations never share (or skew the stats of) a pool
         self.buffer_pool = BufferPool()
 
+    def snapshot(self) -> dict:
+        """Current counters (the shape ``repro.tools.registry`` collects)."""
+        return {"packets_sent": self.packets_sent,
+                "bytes_sent": self.bytes_sent}
+
     def open(self, address: Address) -> Endpoint:
         """Create (or return) the endpoint bound to ``address``."""
         ep = self._endpoints.get(address)

@@ -1,4 +1,5 @@
-"""Operator tooling: packet tracing, lifecycle observation, summaries."""
+"""Operator tooling: packet tracing, lifecycle observation, distributed
+tracing, metrics, summaries."""
 
 from .metrics import ComputeMeter, attach_meter
 from .observe import (
@@ -9,8 +10,26 @@ from .observe import (
     detach_observer,
     validate_chrome_trace,
 )
-from .trace import PacketTrace, TraceRecord, attach_tracer
+from .registry import (
+    MetricsRegistry,
+    attach_metrics,
+    flatten_snapshot,
+    parse_prometheus_text,
+)
+from .trace import PacketTrace, RingBuffer, TraceRecord, attach_tracer
+from .tracing import (
+    TRACE_CONTEXT,
+    HeadSampling,
+    TraceContext,
+    TracingInterceptor,
+    attach_tracing,
+    detach_tracing,
+)
 
-__all__ = ["ComputeMeter", "PacketTrace", "RequestObserver", "Span",
-           "TraceRecord", "TraceSession", "attach_meter", "attach_observer",
-           "attach_tracer", "detach_observer", "validate_chrome_trace"]
+__all__ = ["ComputeMeter", "HeadSampling", "MetricsRegistry", "PacketTrace",
+           "RequestObserver", "RingBuffer", "Span", "TRACE_CONTEXT",
+           "TraceContext", "TraceRecord", "TraceSession",
+           "TracingInterceptor", "attach_meter", "attach_metrics",
+           "attach_observer", "attach_tracer", "attach_tracing",
+           "detach_observer", "detach_tracing", "flatten_snapshot",
+           "parse_prometheus_text", "validate_chrome_trace"]

@@ -4,10 +4,15 @@ Attach a :class:`PacketTrace` to a world's transport to record every
 message (send time, arrival, endpoints, tag class, bytes), then query per
 link/tag summaries or render a text timeline — the observability layer a
 1997 paper collected with printf.
+
+Record storage is a bounded :class:`RingBuffer` (default 64k records):
+long simulations keep the most recent window instead of growing without
+bound, and the ``dropped`` counter says how much history was lost.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -41,6 +46,54 @@ def tag_class(tag: int) -> str:
     return "user"
 
 
+#: default capacity of the bounded record stores (packets and spans)
+DEFAULT_CAPACITY = 65536
+
+
+class RingBuffer:
+    """Append-only bounded store that sheds its *oldest* records.
+
+    A drop-in replacement for the unbounded lists the observability
+    layer used to keep: supports ``append``, ``len``, iteration, and
+    indexing, and counts evictions in ``dropped``.  ``capacity=None``
+    means unbounded.
+    """
+
+    __slots__ = ("_records", "capacity", "dropped")
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._records: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, record) -> None:
+        if self.capacity is not None and len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._records)[index]
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        return (f"<RingBuffer {len(self._records)}/{self.capacity} "
+                f"dropped={self.dropped}>")
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     send_time: float
@@ -58,9 +111,16 @@ class TraceRecord:
 
 @dataclass
 class PacketTrace:
-    """Recorder of every packet a transport moves."""
+    """Recorder of every packet a transport moves (bounded: once
+    ``capacity`` records accumulate, the oldest are shed and counted in
+    ``records.dropped``)."""
 
-    records: list[TraceRecord] = field(default_factory=list)
+    records: RingBuffer = field(
+        default_factory=lambda: RingBuffer(DEFAULT_CAPACITY))
+
+    @property
+    def dropped(self) -> int:
+        return self.records.dropped
 
     def __call__(self, pkt: Packet) -> None:
         self.records.append(TraceRecord(
@@ -91,8 +151,11 @@ class PacketTrace:
         return out
 
     def summary(self) -> str:
-        lines = [f"{len(self.records)} packets, "
-                 f"{sum(r.nbytes for r in self.records)} bytes"]
+        head = (f"{len(self.records)} packets, "
+                f"{sum(r.nbytes for r in self.records)} bytes")
+        if self.dropped:
+            head += f" ({self.dropped} oldest records dropped)"
+        lines = [head]
         for kind, nbytes in sorted(self.bytes_by_kind().items()):
             count = len(self.by_kind(kind))
             lines.append(f"  {kind:>16}: {count:6d} packets {nbytes:10d} bytes")

@@ -686,3 +686,90 @@ def test_cached_schedule_memoizes_and_notifies_observer():
     finally:
         transfer.set_observer(None)
     assert counting.calls == 2  # hits still count as logical schedules
+
+
+# ---------------------------------------------------------------------------
+# finish_request (completion notification)
+# ---------------------------------------------------------------------------
+
+
+class FinishRecorder(RequestInterceptor):
+    """Records finish_request firings with the request's final status."""
+
+    name = "finish-recorder"
+
+    def __init__(self, raise_in_finish=False):
+        self.finished = []
+        self.raise_in_finish = raise_in_finish
+
+    def finish_request(self, info):
+        self.finished.append(
+            (info.op_name, "failed" if info.exception is not None else "ok"))
+        if self.raise_in_finish:
+            raise RuntimeError("finish hook exploded")
+
+
+def test_finish_request_fires_on_success(mod):
+    sim = build(mod)
+    rec = sim.register_interceptor(FinishRecorder())
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        out["v"] = srv.add(2, 2)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 4
+    assert rec.finished == [("add", "ok")]
+
+
+def test_finish_request_fires_on_servant_failure(mod):
+    """A servant that raises mid-dispatch still gets its terminal
+    notification, with the exception visible on the info object."""
+    sim = build(mod)
+    rec = sim.register_interceptor(FinishRecorder())
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        with pytest.raises(SystemException):
+            srv.boom(1)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert rec.finished == [("boom", "failed")]
+
+
+def test_finish_request_exceptions_do_not_disturb_the_server(mod):
+    """The request is already terminal when finish_request runs, so a
+    raising hook is swallowed and later requests proceed normally."""
+    sim = build(mod)
+    rec = sim.register_interceptor(FinishRecorder(raise_in_finish=True))
+    out = {}
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        out["a"] = srv.add(1, 1)
+        out["b"] = srv.add(2, 2)  # server loop survived the first finish
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert (out["a"], out["b"]) == (2, 4)
+    assert rec.finished == [("add", "ok"), ("add", "ok")]
+
+
+def test_finish_request_fires_when_request_is_shed(mod):
+    """Even a request shed in receive_request reaches finish_request —
+    the notification is tied to request lifetime, not success."""
+    sim = build(mod, config=OrbConfig(request_timeout=60.0))
+    sim.register_interceptor(DeadlineInterceptor(budget=1e-9))
+    rec = sim.register_interceptor(FinishRecorder())
+
+    def client(ctx):
+        srv = mod.pipesvc._bind("pipes")
+        with pytest.raises(SystemException, match="shed"):
+            srv.add(1, 1)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert rec.finished == [("add", "failed")]

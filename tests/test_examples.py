@@ -69,6 +69,16 @@ def test_dynamic_client():
     assert "arg-fragment" in r.stdout
 
 
+def test_tracing_pipeline():
+    r = run_example("tracing_pipeline.py", "2", "10")
+    assert r.returncode == 0, r.stderr
+    assert "span(s) 3 programs or more" in r.stdout
+    assert "one stitched trace" in r.stdout
+    assert "after parent" in r.stdout
+    assert "@viz-grad" in r.stdout
+    assert 'pardis_requests_total{kind="remote"}' in r.stdout
+
+
 def test_parameter_study():
     r = run_example("parameter_study.py", "4", "8")
     assert r.returncode == 0, r.stderr

@@ -13,7 +13,7 @@ from repro.tools import (
     detach_observer,
     validate_chrome_trace,
 )
-from repro.tools.observe import CLIENT_PHASES, SERVER_PHASES
+from repro.tools.observe import CLIENT_PHASES, SERVER_PHASES, Span
 
 IDL = """
     typedef dsequence<double> vec;
@@ -219,3 +219,129 @@ class TestValidation:
 
     def test_phase_lists_cover_span_sites(self):
         assert set(CLIENT_PHASES) & set(SERVER_PHASES) == set()
+
+
+# ---------------------------------------------------------------------------
+# Bounded stores: the ring buffers shed oldest-first and count every loss
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedStores:
+    def test_span_ring_buffer_sheds_oldest(self):
+        obs = RequestObserver(span_capacity=4)
+        for i in range(10):
+            obs.span("compute", "op", f"r{i}", "prog", 0, float(i), i + 0.5)
+        assert len(obs.spans) == 4
+        assert obs.spans.dropped == 6
+        assert [s.req for s in obs.spans] == ["r6", "r7", "r8", "r9"]
+
+    def test_request_store_bounded(self):
+        obs = RequestObserver(span_capacity=3)
+        for i in range(5):
+            obs.request_started(f"r{i}", "op", "prog", 0, float(i))
+        assert len(obs.requests) == 3
+        assert obs.requests_dropped == 2
+        # the survivors are the most recent three
+        assert {req for (req, _p, _r) in obs.requests} == {"r2", "r3", "r4"}
+
+    def test_packet_ring_buffer_counts_drops(self):
+        from types import SimpleNamespace
+
+        obs = RequestObserver(packet_capacity=2)
+        for _ in range(5):
+            obs.packet_trace(SimpleNamespace(
+                send_time=0.0, arrival=1e-3, src="a:0", dst="b:0",
+                tag=0, nbytes=8))
+        assert len(obs.packet_trace) == 2
+        assert obs.packet_trace.dropped == 3
+        assert "3 oldest records dropped" in obs.packet_trace.summary()
+
+    def test_report_surfaces_store_drops(self):
+        obs = RequestObserver(span_capacity=2)
+        for i in range(4):
+            obs.span("compute", "op", f"r{i}", "prog", 0, 0.0, 1.0)
+        assert "store drops: 2 spans" in obs.report()
+
+    def test_report_surfaces_dead_letters(self):
+        from types import SimpleNamespace
+
+        obs = RequestObserver()
+        obs.span("compute", "op", "r", "prog", 0, 0.0, 1.0)
+        obs.orb = SimpleNamespace(dead_fragments=2, dead_result_fragments=1)
+        assert ("dead-lettered: 2 argument fragments, 1 result fragments"
+                in obs.report())
+
+    def test_unbounded_when_capacity_is_none(self):
+        obs = RequestObserver(span_capacity=None, packet_capacity=None)
+        for i in range(100):
+            obs.span("compute", "op", f"r{i}", "prog", 0, 0.0, 1.0)
+            obs.request_started(f"r{i}", "op", "prog", 0, 0.0)
+        assert len(obs.spans) == 100
+        assert obs.spans.dropped == 0
+        assert obs.requests_dropped == 0
+
+
+# ---------------------------------------------------------------------------
+# Stitched trees and cross-world flow arrows
+# ---------------------------------------------------------------------------
+
+
+def _annotated(obs, phase, req, program, rank, t0, t1, trace, span, parent,
+               op="work"):
+    obs.spans.append(Span(phase, op, req, program, rank, t0, t1, 0,
+                          trace, span, parent))
+
+
+class TestTraceTreeAndFlows:
+    def test_trace_tree_renders_hops_and_rank_envelopes(self):
+        obs = RequestObserver()
+        _annotated(obs, "marshal", "1", "cli", 0, 0.0, 0.1, "t1", "c:1", "")
+        _annotated(obs, "wait", "1", "cli", 1, 0.05, 0.4, "t1", "c:1", "")
+        _annotated(obs, "dispatch", "1", "srv", 0, 0.2, 0.3, "t1", "s:1",
+                   "c:1")
+        tree = obs.trace_tree()
+        assert tree.startswith("trace t1 — 2 node(s)")
+        assert "client work @cli [ranks 0-1]" in tree
+        assert "server work @srv [rank 0]" in tree
+        assert "+0.200000s after parent" in tree
+
+    def test_trace_tree_without_tracer_notes_absence(self):
+        obs = RequestObserver()
+        obs.span("compute", "op", "r", "prog", 0, 0.0, 1.0)
+        assert "no annotated spans" in obs.trace_tree()
+
+    def test_cross_world_edges_emit_matched_flow_events(self):
+        obs = RequestObserver()
+        _annotated(obs, "marshal", "1", "cli", 0, 0.0, 0.4, "t1", "c:1", "")
+        _annotated(obs, "dispatch", "1", "srv", 0, 0.2, 0.3, "t1", "s:1",
+                   "c:1")
+        trace = obs.chrome_trace()
+        flows = [ev for ev in trace["traceEvents"] if ev.get("cat") == "flow"]
+        assert {ev["ph"] for ev in flows} == {"s", "f"}
+        assert {ev["id"] for ev in flows} == {"s:1"}
+        n = validate_chrome_trace(trace, require_flow_events=1)
+        assert n == len(trace["traceEvents"])
+
+    def test_same_program_nesting_emits_no_flow_arrows(self):
+        obs = RequestObserver()
+        _annotated(obs, "marshal", "1", "cli", 0, 0.0, 0.4, "t1", "c:1", "")
+        _annotated(obs, "marshal", "2", "cli", 0, 0.1, 0.2, "t1", "c:2",
+                   "c:1")
+        trace = obs.chrome_trace()
+        assert not [ev for ev in trace["traceEvents"]
+                    if ev.get("cat") == "flow"]
+
+    def test_validation_enforces_flow_event_floor(self):
+        obs = RequestObserver()
+        obs.span("compute", "op", "r", "prog", 0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="flow event"):
+            validate_chrome_trace(obs.chrome_trace(), require_flow_events=1)
+
+    def test_validation_rejects_unmatched_flow(self):
+        trace = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "ts": 0.0, "dur": 1.0},
+            {"name": "trace", "cat": "flow", "ph": "s", "id": "a",
+             "ts": 0.0, "pid": 1},
+        ]}
+        with pytest.raises(ValueError, match="unmatched flow"):
+            validate_chrome_trace(trace)

@@ -1,0 +1,383 @@
+"""Distributed tracing: wire propagation, SPMD fan-out, nested-call
+stitching, local bypass, sampling, and coexistence with the other
+shipped interceptors."""
+
+import pytest
+
+from repro.core import (
+    DeadlineInterceptor,
+    FaultInjectionInterceptor,
+    Simulation,
+    SystemException,
+)
+from repro.idl import compile_idl
+from repro.tools import (
+    TRACE_CONTEXT,
+    HeadSampling,
+    TraceContext,
+    attach_observer,
+    attach_tracing,
+    detach_tracing,
+)
+from repro.core.pipeline import RequestInterceptor
+
+IDL = """
+    interface back { long deep(in long x); };
+    interface front { long work(in long x); long boom(in long x); };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="tracing_stubs")
+
+
+def build_chain(mod, *, client_np=1, front_np=1):
+    """client -> front -> back: the front servant invokes the back
+    object from inside its own dispatched request."""
+    sim = Simulation()
+
+    def back_main(ctx):
+        class Back(mod.back_skel):
+            def deep(self, x):
+                return x * 10
+
+        ctx.poa.activate(Back(), "back", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    def front_main(ctx):
+        downstream = mod.back._bind("back")
+
+        class Front(mod.front_skel):
+            def work(self, x):
+                return downstream.deep(x) + 1
+
+            def boom(self, x):
+                raise RuntimeError("kaboom")
+
+        ctx.poa.activate(Front(), "front", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(back_main, host="HOST_2", nprocs=1, name="backworld")
+    sim.server(front_main, host="HOST_2", nprocs=front_np,
+               name="frontworld")
+    return sim
+
+
+class WireProbe(RequestInterceptor):
+    """Captures the trace service contexts seen on each side."""
+
+    name = "wire-probe"
+
+    def __init__(self):
+        self.server_saw = []
+        self.client_reply_saw = []
+
+    def receive_request(self, info):
+        self.server_saw.append(
+            (info.op_name, info.service_contexts.get(TRACE_CONTEXT)))
+
+    def receive_reply(self, info):
+        self.client_reply_saw.append(
+            (info.op_name, info.reply_service_contexts.get(TRACE_CONTEXT)))
+
+
+def test_wire_context_round_trip(mod):
+    sim = build_chain(mod)
+    tracer = attach_tracing(sim.world)
+    probe = sim.register_interceptor(WireProbe())
+    out = {}
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        out["v"] = srv.work(4)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 41
+
+    # Both hops (work, deep) carried a context on the request...
+    ops = {op for op, wire in probe.server_saw}
+    assert ops == {"work", "deep"}
+    for op, wire in probe.server_saw:
+        assert set(wire) == {"trace_id", "span_id", "sampled"}
+        assert wire["span_id"].startswith("c:")
+        assert wire["sampled"] is True
+    # ... sharing one trace id (deep is nested inside work).
+    assert len({wire["trace_id"] for _, wire in probe.server_saw}) == 1
+    # Replies echoed the server's context back.
+    for op, wire in probe.client_reply_saw:
+        assert wire is not None and wire["span_id"].startswith("s:")
+    assert tracer.counters["traces_started"] == 1
+    assert tracer.counters["traces_joined"] == 2
+    assert tracer.counters["replies_echoed"] == 2
+
+
+def test_nested_invocation_stitches_one_tree(mod):
+    sim = build_chain(mod)
+    obs = attach_observer(sim.world)
+    attach_tracing(sim.world)
+    out = {}
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        out["v"] = srv.work(7)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["v"] == 71
+
+    nodes = obs._trace_nodes()
+    assert len(nodes) == 4  # client work, server work, client deep, server deep
+    assert len({n["trace_id"] for n in nodes.values()}) == 1
+    by_id = {sid: n for sid, n in nodes.items()}
+    # Walk parent links from the deepest node back to the root.
+    deep_server = next(n for n in nodes.values()
+                       if n["side"] == "server" and n["op"] == "deep")
+    deep_client = by_id[deep_server["parent_id"]]
+    assert deep_client["side"] == "client" and deep_client["op"] == "deep"
+    work_server = by_id[deep_client["parent_id"]]
+    assert work_server["side"] == "server" and work_server["op"] == "work"
+    work_client = by_id[work_server["parent_id"]]
+    assert work_client["side"] == "client" and work_client["op"] == "work"
+    assert work_client["parent_id"] == ""  # the root
+
+    tree = obs.trace_tree()
+    assert "after parent" in tree
+    assert tree.count("└─") == 4  # one branch glyph per node
+
+
+def test_spmd_fanout_shares_one_logical_span(mod):
+    """Every thread of a collective invocation derives the same ids
+    without communicating: the fan-out is one logical span per side."""
+    sim = Simulation()
+
+    def back_main(ctx):
+        class Back(mod.back_skel):
+            def deep(self, x):
+                return x * 10
+
+        ctx.poa.activate(Back(), "back", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(back_main, host="HOST_2", nprocs=3, name="backworld")
+    obs = attach_observer(sim.world)
+    attach_tracing(sim.world)
+    results = {}
+
+    def client(ctx):
+        srv = mod.back._spmd_bind("back")
+        results[ctx.rank] = srv.deep(2)
+
+    sim.client(client, host="HOST_1", nprocs=2)
+    sim.run()
+    assert results == {0: 20, 1: 20}
+
+    nodes = obs._trace_nodes()
+    server_nodes = [n for n in nodes.values() if n["side"] == "server"]
+    client_nodes = [n for n in nodes.values() if n["side"] == "client"]
+    # One logical span per side, covering every participating rank.
+    assert len(server_nodes) == 1 and server_nodes[0]["ranks"] == {0, 1, 2}
+    assert len(client_nodes) == 1 and client_nodes[0]["ranks"] == {0, 1}
+    assert server_nodes[0]["trace_id"] == client_nodes[0]["trace_id"]
+    assert server_nodes[0]["parent_id"] == client_nodes[0]["span_id"]
+
+
+def test_local_bypass_frames_scope_and_stitches_downstream(mod):
+    """A §4.1 local bypass opens a client scope on the calling thread,
+    so the servant's own remote invocation joins the same trace."""
+    sim = Simulation()
+
+    def back_main(ctx):
+        class Back(mod.back_skel):
+            def deep(self, x):
+                return x * 10
+
+        ctx.poa.activate(Back(), "back", kind="spmd")
+        ctx.poa.impl_is_ready()
+
+    sim.server(back_main, host="HOST_2", nprocs=1, name="backworld")
+    obs = attach_observer(sim.world)
+    tracer = attach_tracing(sim.world)
+    out = {}
+
+    def prog(ctx):
+        downstream = mod.back._bind("back")
+
+        class Front(mod.front_skel):
+            def work(self, x):
+                return downstream.deep(x) + 1
+
+            def boom(self, x):
+                raise RuntimeError("kaboom")
+
+        ctx.poa.activate(Front(), "front", kind="spmd")
+        srv = mod.front._bind("front")
+        assert srv._binding.local
+        out["v"] = srv.work(3)
+
+    sim.client(prog, host="HOST_1", name="combined")
+    sim.run()
+    assert out["v"] == 31
+    assert tracer.counters["local_scopes"] == 1
+
+    nodes = obs._trace_nodes()
+    assert len({n["trace_id"] for n in nodes.values()}) == 1
+    local = next(n for n in nodes.values() if n["op"] == "work")
+    deep_server = next(n for n in nodes.values()
+                       if n["side"] == "server" and n["op"] == "deep")
+    deep_client = nodes[deep_server["parent_id"]]
+    # The nested call's client span parents under the bypassed call.
+    assert deep_client["parent_id"] == local["span_id"]
+
+
+def test_servant_failure_keeps_trace_context(mod):
+    sim = build_chain(mod)
+    obs = attach_observer(sim.world)
+    attach_tracing(sim.world)
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        with pytest.raises(SystemException):
+            srv.boom(1)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    nodes = obs._trace_nodes()
+    assert len({n["trace_id"] for n in nodes.values()}) == 1
+    assert {n["side"] for n in nodes.values()} == {"client", "server"}
+
+
+def test_unsampled_trace_promoted_on_error(mod):
+    """Head-based sampling at rate 0 records nothing for successes but
+    promotes the buffered spans of a failing request."""
+    sim = build_chain(mod)
+    obs = attach_observer(sim.world)
+    attach_tracing(sim.world, sampler=HeadSampling(0.0))
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        assert srv.work(1) == 11
+        with pytest.raises(SystemException):
+            srv.boom(1)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    # The successful chain (work + nested deep) was dropped whole...
+    ops = {n["op"] for n in obs._trace_nodes().values()}
+    assert "work" not in ops and "deep" not in ops
+    # ... and the failing request's spans were promoted.
+    assert ops == {"boom"}
+    assert obs.spans_promoted > 0
+    assert obs.spans_unsampled > 0
+
+
+def test_unsampled_traces_discarded_without_promotion(mod):
+    sim = build_chain(mod)
+    obs = attach_observer(sim.world)
+    attach_tracing(sim.world, sampler=HeadSampling(0.0),
+                   always_on_error=False)
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        assert srv.work(1) == 11
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert not obs._trace_nodes()
+    assert obs.spans_promoted == 0
+    assert obs.spans_unsampled > 0
+
+
+@pytest.mark.parametrize("tracer_first", [True, False])
+def test_coexists_with_deadline_shedding(mod, tracer_first):
+    """A request shed by the deadline interceptor leaves no leaked trace
+    scope, whichever side of the tracer it is registered on."""
+    sim = build_chain(mod)
+    if tracer_first:
+        tracer = attach_tracing(sim.world)
+        dl = sim.register_interceptor(DeadlineInterceptor(budget=1e-9))
+    else:
+        dl = sim.register_interceptor(DeadlineInterceptor(budget=1e-9))
+        tracer = attach_tracing(sim.world)
+    out = {}
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        with pytest.raises(SystemException, match="shed"):
+            srv.work(1)
+        ctx.orb.unregister_interceptor(dl)  # stop shedding; then retry
+        out["retry"] = srv.work(2)
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["retry"] == 21
+    # The shed request and the retry each rooted a fresh trace: a scope
+    # leaked by the shed dispatch would have nested the retry instead.
+    assert tracer.counters["traces_started"] == 2
+
+
+@pytest.mark.parametrize("tracer_first", [True, False])
+def test_coexists_with_fault_injection(mod, tracer_first):
+    """An abort injected at send_request leaves the tracer consistent in
+    both registration orders (its send_request may or may not have run)."""
+    sim = build_chain(mod)
+    if tracer_first:
+        tracer = attach_tracing(sim.world)
+        faults = sim.register_interceptor(FaultInjectionInterceptor())
+    else:
+        faults = sim.register_interceptor(FaultInjectionInterceptor())
+        tracer = attach_tracing(sim.world)
+    faults.inject("send_request", op="work", times=1)
+    out = {}
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        with pytest.raises(SystemException, match="injected fault"):
+            srv.work(1)
+        out["retry"] = srv.work(2)  # rule exhausted
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert out["retry"] == 21
+    # The retried request (and its nested hop) traced normally.
+    assert tracer.counters["traces_joined"] == 2
+
+
+def test_head_sampling_is_deterministic():
+    assert HeadSampling(1.0).sample("deadbeef") is True
+    assert HeadSampling(0.0).sample("deadbeef") is False
+    s = HeadSampling(0.5)
+    from repro.tools.tracing import _derive
+
+    ids = [_derive(str(i)) for i in range(200)]  # hash-distributed ids
+    first = [s.sample(t) for t in ids]
+    assert first == [s.sample(t) for t in ids]  # pure function
+    assert 40 < sum(first) < 160  # roughly the configured rate
+
+
+def test_trace_context_wire_shape():
+    t = TraceContext("aa" * 8, "c:" + "bb" * 8, "", True)
+    assert t.to_wire() == {"trace_id": "aa" * 8,
+                           "span_id": "c:" + "bb" * 8, "sampled": True}
+    assert t == TraceContext("aa" * 8, "c:" + "bb" * 8, "", True)
+    assert t != TraceContext("aa" * 8, "c:" + "bb" * 8, "", False)
+    assert "c:" in repr(t)
+
+
+def test_detach_tracing_restores_untraced_wire(mod):
+    sim = build_chain(mod)
+    tracer = attach_tracing(sim.world)
+    detach_tracing(sim.world)
+    probe = sim.register_interceptor(WireProbe())
+
+    def client(ctx):
+        srv = mod.front._bind("front")
+        assert srv.work(1) == 11
+
+    sim.client(client, host="HOST_1")
+    sim.run()
+    assert all(wire is None for _, wire in probe.server_saw)
+    assert tracer.counters["traces_started"] == 0
+    assert "tracer" not in sim.world.services
+    assert detach_tracing(sim.world) is None  # idempotent
