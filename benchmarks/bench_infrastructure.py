@@ -155,7 +155,7 @@ def test_end_to_end_invocation_wallclock(benchmark):
 # ---------------------------------------------------------------------------
 
 
-def _echo_run(attach=None, n=200):
+def _echo_run(attach=None, n=200, admission=False):
     """Wall seconds and virtual end-time of an ``n``-invocation echo sim;
     ``attach(world)`` installs instrumentation before the run.  Payload-free
     blocking echoes are the *worst case* for fixed per-request overhead —
@@ -177,6 +177,10 @@ def _echo_run(attach=None, n=200):
                 return x
 
         ctx.poa.activate(Impl(), "g", kind="spmd")
+        if admission:
+            from repro.services import AdmissionController
+
+            ctx.poa.set_admission(AdmissionController(capacity=8))
         ctx.poa.impl_is_ready()
 
     sim.server(server_main, host="HOST_2", nprocs=1)
@@ -250,6 +254,56 @@ def test_tracing_overhead_gate():
     print(f"\ntracing-overhead gate: plain {p * 1e3:.2f} ms, "
           f"traced {t * 1e3:.2f} ms ({100 * (t / p - 1):+.1f}%), "
           f"full stack {s * 1e3:.2f} ms ({100 * (s / p - 1):+.1f}%)")
+
+
+def test_services_overhead_gate():
+    """Benchmark-enforced budget for the services layer's *dormant* cost:
+    a run with an idle :class:`~repro.services.ThrottleInterceptor` in
+    the chain (it rides every request but no backpressure ever arrives)
+    must cost <= 5% end-to-end wall clock vs the empty chain, and must
+    not move virtual time — with no admission controller and no bind
+    policy, the request path's only additions are ``admission is None``
+    checks and the single-ref bind fast path.  Same min-of-interleaved-
+    rounds methodology as :func:`test_tracing_overhead_gate`; widen with
+    PARDIS_OVERHEAD_GATE_PCT on noisy machines.  An admission-controlled
+    run (bounded queue engaged, zero sheds) is measured alongside for
+    the record — it has no budget: the load reports it piggybacks on
+    every reply legitimately move virtual time.
+    """
+    import os
+
+    from repro.services import ThrottleInterceptor
+
+    def attach_throttle(world):
+        world.services["orb"].register_interceptor(
+            ThrottleInterceptor(seed=0))
+
+    _echo_run()  # warm the stub/import caches outside the measurement
+    plain, throttled, admitted = [], [], []
+    virtual = set()
+    for _ in range(9):
+        wall, vt = _echo_run()
+        plain.append(wall)
+        virtual.add(round(vt, 12))
+        wall, vt = _echo_run(attach_throttle)
+        throttled.append(wall)
+        virtual.add(round(vt, 12))
+        wall, _ = _echo_run(admission=True)
+        admitted.append(wall)
+
+    # An idle throttle must be invisible to the simulation's clock.
+    assert len(virtual) == 1, f"virtual end-times diverged: {virtual}"
+
+    budget = float(os.environ.get("PARDIS_OVERHEAD_GATE_PCT", "5")) / 100.0
+    p, t, a = min(plain), min(throttled), min(admitted)
+    assert t <= p * (1 + budget) + 0.001, (
+        f"idle-services overhead {100 * (t / p - 1):.1f}% exceeds "
+        f"{100 * budget:.0f}% budget (plain {p * 1e3:.2f} ms, "
+        f"throttled {t * 1e3:.2f} ms)"
+    )
+    print(f"\nservices-overhead gate: plain {p * 1e3:.2f} ms, "
+          f"idle throttle {t * 1e3:.2f} ms ({100 * (t / p - 1):+.1f}%), "
+          f"admission on {a * 1e3:.2f} ms ({100 * (a / p - 1):+.1f}%)")
 
 
 DSEQ_IDL = """

@@ -18,6 +18,7 @@ from .errors import (
     ObjectNotFound,
     PardisError,
     SystemException,
+    TransientException,
     UserException,
 )
 from .futures import Future
@@ -83,6 +84,7 @@ __all__ = [
     "RowBlock",
     "Simulation",
     "SystemException",
+    "TransientException",
     "UserException",
     "default_network",
     "dynamic_bind",

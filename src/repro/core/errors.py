@@ -43,6 +43,14 @@ class ActivationError(SystemException):
     """A server could not be activated (no record, or agent disabled)."""
 
 
+class TransientException(SystemException):
+    """CORBA ``TRANSIENT``: the request was *not* executed (e.g. shed by
+    server-side admission control) and may safely be retried later.
+    Replies that raise this carry the overload marker in their service
+    contexts; the client-side throttle interceptor reacts by backing
+    off (see :mod:`repro.services`)."""
+
+
 class UserException(PardisError):
     """Base class of IDL-declared exceptions.
 

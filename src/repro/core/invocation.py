@@ -37,7 +37,9 @@ __all__ = ["Binding", "PendingRequest", "invoke"]
 class Binding:
     """A client thread's (or SPMD client's) connection to an object."""
 
-    def __init__(self, ctx, ref: ObjectRef, collective: bool) -> None:
+    def __init__(self, ctx, ref: ObjectRef, collective: bool,
+                 max_outstanding: Optional[int] = None,
+                 group=None, policy=None) -> None:
         self.ctx = ctx
         self.ref = ref
         self.collective = collective
@@ -47,7 +49,20 @@ class Binding:
         self._req_seq = 0
         self.outstanding: list[ClientRequestState] = []
         self.local = ref.program_id == ctx.program.program_id
+        #: per-bind flow-control override (None = ORB-wide config value)
+        self.max_outstanding = max_outstanding
+        #: repro.services.ReplicaGroup when this binding was established
+        #: through a selection policy — enables failover rebinds
+        self.group = group
+        self.policy = policy
         ctx.compute(ctx.orb.config.bind_cost)
+
+    def rebind(self, ref: ObjectRef) -> None:
+        """Point this binding at another replica (failover); outstanding
+        requests keep draining against the old replica."""
+        self.ref = ref
+        self.local = ref.program_id == self.ctx.program.program_id
+        self.ctx.compute(self.ctx.orb.config.bind_cost)
 
     @property
     def client_nthreads(self) -> int:
@@ -106,8 +121,11 @@ def invoke(binding: Binding, op: OpDef, in_values: tuple,
     if binding.local:
         return _invoke_local(binding, op, in_values, placeholders, blocking)
 
-    # Flow control: cap unreplied requests per binding.
-    while len(binding.outstanding) >= cfg.max_outstanding:
+    # Flow control: cap unreplied requests per binding (the per-bind
+    # override wins over the ORB-wide default).
+    limit = (binding.max_outstanding if binding.max_outstanding is not None
+             else cfg.max_outstanding)
+    while len(binding.outstanding) >= limit:
         binding.outstanding[0].progress(block=True)
 
     state = ClientRequestState(binding, op, in_values, distributions,

@@ -138,6 +138,34 @@ class ORB:
         #: kept as a plain attribute for introspection — the observer's
         #: span feed now arrives through the interceptor chain
         self.observer = None
+        #: (namespace, name) -> repro.services.ReplicaGroup, created lazily
+        #: on the first policy-driven bind against that name
+        self._replica_groups: dict = {}
+        #: live repro.services.AdmissionController instances (one per POA
+        #: that enabled admission control) — registered here so metrics
+        #: collectors can find them
+        self.admission_controllers: list = []
+        #: the world-wide LoadReportInterceptor, installed on first use
+        self._load_reporter = None
+
+    # -- replica groups ----------------------------------------------------------
+
+    def replica_group(self, name: str, namespace: str = "default"):
+        """Lazily create (and cache) the :class:`repro.services.ReplicaGroup`
+        tracking the replicas of ``name``; installs the world's load-report
+        interceptor the first time any group is created."""
+        from ..services.replicas import LoadReportInterceptor, ReplicaGroup
+
+        key = (namespace, name)
+        group = self._replica_groups.get(key)
+        if group is None:
+            if self._load_reporter is None:
+                self._load_reporter = self.register_interceptor(
+                    LoadReportInterceptor(self)
+                )
+            group = self._replica_groups[key] = ReplicaGroup(self, name,
+                                                             namespace)
+        return group
 
     # -- portable interceptors ---------------------------------------------------
 

@@ -36,7 +36,12 @@ from ...runtime.tags import (
 )
 from ..distribution import Distribution, resolve_dist_spec
 from ..dsequence import DistributedSequence
-from ..errors import BindingError, SystemException, UserException
+from ..errors import (
+    BindingError,
+    SystemException,
+    TransientException,
+    UserException,
+)
 from ..futures import Future
 from ..interfacedef import OpDef
 from ..marshal import (
@@ -52,6 +57,7 @@ from ..marshal import (
 )
 from ..repository import ObjectRef
 from ..request import (
+    OVERLOAD_CONTEXT,
     ReplyHeader,
     RequestHeader,
     STATUS_OK,
@@ -435,6 +441,12 @@ class ClientRequestState:
                 f"{self.op.name} failed on a server thread (partial "
                 f"failure): {reply.exception}"
             )
+        if reply.service_contexts.get(OVERLOAD_CONTEXT):
+            # The server shed the request un-executed: safe to retry.
+            return TransientException(
+                f"{self.op.name} rejected by server overload: "
+                f"{reply.exception}"
+            )
         return SystemException(
             f"{self.op.name} failed on the server: {reply.exception}"
         )
@@ -760,10 +772,15 @@ class ServerRequestState:
                 {k: v for k, v in out_values.items()
                  if k == "__return" or not _is_dseq_param(op, k)},
             )
+            contexts = dict(self.info.reply_service_contexts)
+            if self.poa.admission is not None:
+                # Piggyback the load report / backpressure hint
+                # (least-loaded selection, client-side throttling).
+                self.poa.admission.stamp_reply(contexts)
             self._send_to_clients(ReplyHeader(
                 hdr.req_id, STATUS_OK, scalar_results=scalar_bytes,
                 dseq_outs=dseq_outs,
-                service_contexts=dict(self.info.reply_service_contexts),
+                service_contexts=contexts,
             ))
 
         offload = ctx.orb.config.communication_threads
@@ -818,6 +835,8 @@ class ServerRequestState:
                         pass  # already failing; keep the original error
                 reply.service_contexts.update(
                     self.info.reply_service_contexts)
+            if self.poa.admission is not None:
+                self.poa.admission.stamp_reply(reply.service_contexts)
             self._send_to_clients(reply)
         elif (self.op is not None and self.op.dseq_out_params
               and not hdr.oneway):

@@ -30,13 +30,13 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..runtime.program import PORT_ORB
-from ..runtime.tags import TAG_ARG_FRAGMENT, TAG_REQUEST_HEADER
+from ..runtime.tags import TAG_ARG_FRAGMENT, TAG_REPLY_HEADER, TAG_REQUEST_HEADER
 from .errors import BindingError, ObjectNotFound
 from .interfacedef import InterfaceDef, OpDef, ParamDef
 from .pipeline.courier import release_fragment
 from .pipeline.state import ServerRequestState
 from .repository import ObjectRef
-from .request import RequestHeader
+from .request import OVERLOAD_CONTEXT, ReplyHeader, RequestHeader, STATUS_SYS_EXC
 
 #: Bound on remembered dead request ids (oldest forgotten first).  A
 #: fragment of a forgotten request can no longer be mis-matched anyway:
@@ -64,18 +64,34 @@ class POA:
         #: request ids whose argument fragments are orphaned (rejected
         #: before collection completed); insertion-ordered for trimming
         self._dead_letters: dict = {}
+        #: repro.services.AdmissionController, or None (dispatch whatever
+        #: arrives — the historic behaviour, zero extra cost)
+        self.admission = None
+
+    def set_admission(self, controller) -> None:
+        """Enable server-side admission control on this thread's request
+        loop.  Call on every thread of an SPMD server; only the thread
+        that receives requests directly from clients (rank 0 for SPMD,
+        the owner for single objects) ever sheds — forwarded headers are
+        always admitted so the peers replay rank 0's dispatch order."""
+        self.admission = controller
+        if controller is not None:
+            controller.attach(self.ctx)
+            self.ctx.orb.admission_controllers.append(controller)
 
     # -- activation ------------------------------------------------------------
 
     def activate(self, servant, name: str, kind: str = "spmd",
-                 in_dists: Optional[dict] = None) -> ObjectRef:
+                 in_dists: Optional[dict] = None,
+                 replica: bool = False) -> ObjectRef:
         """Register a servant under ``name``.
 
         SPMD activation is collective over all computing threads of the
         server ("the instantiation of an SPMD object is collective",
         §3.1).  ``in_dists`` maps ``(op, param)`` to a distribution kind,
         overriding the IDL default for "in" arguments prior to
-        registration (§3.2).
+        registration (§3.2).  ``replica=True`` joins an existing name's
+        replica group instead of requiring the name to be free.
         """
         iface: InterfaceDef = servant._interface
         ctx = self.ctx
@@ -93,7 +109,7 @@ class POA:
                                    {ctx.rank: servant}, dict(in_dists or {}))
             self._registry[name] = record
             ref = self._make_ref(record)
-            ctx.orb.repository(ctx.namespace).register(ref)
+            ctx.orb.repository(ctx.namespace).register(ref, replica=replica)
             return ref
         if kind != "spmd":
             raise ValueError(f"unknown object kind {kind!r}")
@@ -105,13 +121,16 @@ class POA:
         ctx.barrier()
         if ctx.rank == 0:
             ref = self._make_ref(record)
-            ctx.orb.repository(ctx.namespace).register(ref)
+            ctx.orb.repository(ctx.namespace).register(ref, replica=replica)
         ctx.barrier()
-        return ctx.orb.repository(ctx.namespace).lookup(name)
+        repo = ctx.orb.repository(ctx.namespace)
+        pid = ctx.program.program_id
+        return next(r for r in repo.lookup_all(name) if r.program_id == pid)
 
     def deactivate(self, name: str) -> None:
         self._registry.pop(name, None)
-        self.ctx.orb.repository(self.ctx.namespace).unregister(name)
+        self.ctx.orb.repository(self.ctx.namespace).unregister(
+            name, program_id=self.ctx.program.program_id)
 
     def _make_ref(self, record: ServantRecord) -> ObjectRef:
         prog = self.ctx.program
@@ -146,12 +165,16 @@ class POA:
         while True:
             self._process_one(block=True)
 
-    def process_requests(self) -> int:
+    def process_requests(self, limit: Optional[int] = None) -> int:
         """Service the requests that have arrived so far, then return so
         the server can resume its interrupted computation (§3.3).
-        Collective over the server's threads."""
+        Collective over the server's threads.  Under sustained offered
+        load new requests keep arriving while earlier ones are served, so
+        a server that must get back to its own work (or retire) can cap
+        one visit at ``limit`` dispatches."""
         n = 0
-        while self._process_one(block=False):
+        while ((limit is None or n < limit)
+               and self._process_one(block=False)):
             n += 1
         return n
 
@@ -162,12 +185,73 @@ class POA:
         def match(env):
             return env.payload.tag == TAG_REQUEST_HEADER
 
-        env = (ep.channel.receive(match, reason="impl_is_ready")
-               if block else ep.channel.poll(match))
-        if env is None:
-            return False
-        self._handle(env.payload.body)
+        if self.admission is None:
+            env = (ep.channel.receive(match, reason="impl_is_ready")
+                   if block else ep.channel.poll(match))
+            if env is None:
+                return False
+            self._handle(env.payload.body)
+            return True
+
+        # Admission path: sweep the headers that arrived while the last
+        # request was being served into the bounded queue (shedding the
+        # overflow), then dispatch one according to the scheduling policy.
+        # The sweep is bounded: each shed costs virtual time (the refusal
+        # reply goes over the transport), during which closed-loop clients
+        # retry — an unbounded drain would keep finding fresh arrivals and
+        # starve the queue (receive livelock).
+        budget = self.admission.sweep_budget
+        while budget > 0:
+            env = ep.channel.poll(match)
+            if env is None:
+                break
+            self._admit(env.payload.body)
+            budget -= 1
+        hdr = self.admission.pop(self.ctx.now())
+        if hdr is None:
+            if not block:
+                return False
+            env = ep.channel.receive(match, reason="impl_is_ready")
+            self._admit(env.payload.body)
+            hdr = self.admission.pop(self.ctx.now())
+            if hdr is None:
+                return True  # the fresh arrival was shed; keep looping
+        self._handle(hdr)
         return True
+
+    def _admit(self, hdr: RequestHeader) -> None:
+        if not self.admission.offer(hdr, self.ctx.now()):
+            self._shed(hdr)
+
+    def _shed(self, hdr: RequestHeader) -> None:
+        """Refuse an un-admitted request: dead-letter its argument
+        fragments, annotate the trace, and (for twoway requests) reply
+        with the overload marker so the client raises
+        :class:`~repro.core.errors.TransientException` and its throttle
+        interceptor backs off."""
+        ctx = self.ctx
+        if hdr.dseq_args:
+            self._dead_letter(hdr.req_id)
+        chain = ctx.orb.interceptors
+        if chain.wants_spans:
+            now = ctx.now()
+            chain.span("shed", hdr.op, hdr.req_id, ctx.program.name,
+                       ctx.rank, now, now)
+        if hdr.oneway:
+            return
+        contexts = {OVERLOAD_CONTEXT: True}
+        self.admission.stamp_reply(contexts)
+        reply = ReplyHeader(
+            hdr.req_id, STATUS_SYS_EXC,
+            exception=(f"{hdr.op} shed by admission control on "
+                       f"{ctx.program.name} (queue full)"),
+            service_contexts=contexts,
+        )
+        transport = ctx.orb.world.transport
+        nb = reply.nbytes()
+        for addr in hdr.reply_to:
+            transport.send(ctx.endpoint.address, addr, reply,
+                           tag=TAG_REPLY_HEADER, nbytes=nb)
 
     def _handle(self, hdr: RequestHeader) -> None:
         ServerRequestState(self, hdr).run()

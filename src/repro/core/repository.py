@@ -43,30 +43,61 @@ class ObjectRef:
 
 
 class ObjectRepository:
-    """Name -> :class:`ObjectRef` within one namespace."""
+    """Name -> :class:`ObjectRef` within one namespace.
+
+    A name usually maps to one reference, but servers may register as
+    *replicas* of an existing name (``register(ref, replica=True)``):
+    the repository then holds an ordered replica list — possibly SPMD
+    servers of differing widths — and :meth:`lookup` keeps returning the
+    first registration while :meth:`lookup_all` exposes the whole group
+    for the selection policies in :mod:`repro.services`.
+    """
 
     def __init__(self, namespace: str = "default") -> None:
         self.namespace = namespace
-        self._objects: dict[str, ObjectRef] = {}
+        self._objects: dict[str, list[ObjectRef]] = {}
 
-    def register(self, ref: ObjectRef) -> None:
-        if ref.name in self._objects:
+    def register(self, ref: ObjectRef, replica: bool = False) -> None:
+        refs = self._objects.get(ref.name)
+        if refs is None:
+            self._objects[ref.name] = [ref]
+            return
+        if any(r.program_id == ref.program_id for r in refs):
             raise ValueError(
                 f"object {ref.name!r} already registered in namespace "
-                f"{self.namespace!r}"
+                f"{self.namespace!r} by program {ref.program_id}"
             )
-        self._objects[ref.name] = ref
+        if not replica:
+            raise ValueError(
+                f"object {ref.name!r} already registered in namespace "
+                f"{self.namespace!r} (pass replica=True to add a replica)"
+            )
+        refs.append(ref)
 
-    def unregister(self, name: str) -> None:
-        self._objects.pop(name, None)
+    def unregister(self, name: str, program_id: Optional[int] = None) -> None:
+        """Remove a name — or, with ``program_id``, just that program's
+        replica of it.  Idempotent (unknown names are ignored)."""
+        if program_id is None:
+            self._objects.pop(name, None)
+            return
+        refs = self._objects.get(name)
+        if refs is None:
+            return
+        refs[:] = [r for r in refs if r.program_id != program_id]
+        if not refs:
+            del self._objects[name]
 
     def lookup(self, name: str) -> ObjectRef:
         try:
-            return self._objects[name]
+            return self._objects[name][0]
         except KeyError:
             raise ObjectNotFound(
                 f"no object {name!r} in namespace {self.namespace!r}"
             ) from None
+
+    def lookup_all(self, name: str) -> tuple[ObjectRef, ...]:
+        """Every live registration of ``name`` (empty when unknown)."""
+        return tuple(self._objects.get(name, ()))
 
     def contains(self, name: str) -> bool:
         return name in self._objects

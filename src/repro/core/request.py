@@ -24,6 +24,25 @@ from .distribution import Distribution
 # Request id: unique per (client program, binding, sequence number).
 ReqId = tuple
 
+# ---------------------------------------------------------------------------
+# Well-known service-context keys (the wire contract of repro.services).
+# Kept here, next to the headers they travel on, so the core protocol and
+# the services layer agree without importing each other.
+# ---------------------------------------------------------------------------
+
+#: reply marker: the request was shed by admission control and was NOT
+#: executed (clients map such replies to TransientException)
+OVERLOAD_CONTEXT = "pardis.overload"
+#: reply hint: suggested client back-off in virtual seconds, set when the
+#: server's request queue is past its high watermark (also present on
+#: successful replies from a nearly saturated server)
+BACKPRESSURE_CONTEXT = "pardis.backpressure"
+#: reply report: ``{"program_id", "queue_depth", "capacity"}`` load
+#: sample piggybacked for least-loaded replica selection
+LOAD_CONTEXT = "pardis.load"
+#: request priority (higher is served first under the "priority" policy)
+PRIORITY_CONTEXT = "pardis.priority"
+
 
 def describe(dist: Distribution) -> tuple:
     """Compact, picklable descriptor of a distribution."""

@@ -80,29 +80,61 @@ class ProxyBase:
     # -- binding ---------------------------------------------------------------
 
     @classmethod
-    def _bind(cls, name: str, host: Optional[str] = None) -> "ProxyBase":
+    def _bind(cls, name: str, host: Optional[str] = None,
+              policy=None, max_outstanding: Optional[int] = None
+              ) -> "ProxyBase":
         """Per-thread binding: this computing thread acts as a separate
-        entity ("calling bind ... creates one binding per thread")."""
+        entity ("calling bind ... creates one binding per thread").
+
+        ``policy`` selects among replicas of ``name`` (a policy name such
+        as ``"round_robin"``/``"least_loaded"``/``"locality"`` or a
+        :class:`repro.services.SelectionPolicy` instance) and arms
+        health-checked failover on the binding; ``max_outstanding``
+        overrides the ORB-wide flow-control window for this binding.
+        """
         ctx = current_context()
-        ref = ctx.orb.resolve(name, ctx)
+        group = sel = None
+        if policy is not None:
+            from ..services.replicas import make_policy
+
+            sel = make_policy(policy)
+            group = ctx.orb.replica_group(name, ctx.namespace)
+            ref = group.select(ctx, sel)
+        else:
+            ref = ctx.orb.resolve(name, ctx)
         cls._check_ref(name, ref, host)
-        return cls(Binding(ctx, ref, collective=False))
+        return cls(Binding(ctx, ref, collective=False,
+                           max_outstanding=max_outstanding,
+                           group=group, policy=sel))
 
     @classmethod
-    def _spmd_bind(cls, name: str, host: Optional[str] = None) -> "ProxyBase":
+    def _spmd_bind(cls, name: str, host: Optional[str] = None,
+                   policy=None, max_outstanding: Optional[int] = None
+                   ) -> "ProxyBase":
         """Collective binding: represents the parallel client to the ORB
         as one entity; all proxy operations must then be invoked
-        collectively and can use distributed arguments (§3.1)."""
+        collectively and can use distributed arguments (§3.1).  Replica
+        selection (``policy``) runs on rank 0 and is broadcast so every
+        thread binds the same replica."""
         ctx = current_context()
+        group = sel = None
+        if policy is not None:
+            from ..services.replicas import make_policy
+
+            sel = make_policy(policy)
+            group = ctx.orb.replica_group(name, ctx.namespace)
         if ctx.rank == 0:
-            ref = ctx.orb.resolve(name, ctx)
+            ref = (group.select(ctx, sel) if group is not None
+                   else ctx.orb.resolve(name, ctx))
         else:
             ref = None
         from ..runtime import collectives as coll
 
         ref = coll.bcast(ctx.rts, ref, root=0)
         cls._check_ref(name, ref, host)
-        return cls(Binding(ctx, ref, collective=True))
+        return cls(Binding(ctx, ref, collective=True,
+                           max_outstanding=max_outstanding,
+                           group=group, policy=sel))
 
     @classmethod
     def _check_ref(cls, name: str, ref, host: Optional[str]) -> None:
@@ -128,6 +160,11 @@ class ProxyBase:
             ) from None
 
     def _invoke(self, op_name: str, in_args: tuple, distributions=None):
+        if self._binding.group is not None:
+            from ..services.replicas import failover_invoke
+
+            return failover_invoke(self._binding, self._op(op_name),
+                                   in_args, distributions)
         return invoke(self._binding, self._op(op_name), in_args,
                       distributions, blocking=True)
 

@@ -14,7 +14,7 @@ import argparse
 from typing import Optional
 
 from .common import format_table
-from .plotting import chart_rows
+from .plotting import ascii_chart, chart_rows
 from .fig2_solvers import PAPER_SIZES, run_fig2
 from .fig4_dna import DEFAULT_NSEQS, MATCH_ROUNDS, PAPER_PROCS as FIG4_PROCS, run_fig4
 from .fig5_pipeline import (
@@ -23,6 +23,11 @@ from .fig5_pipeline import (
     PAPER_STEPS,
     run_fig5,
 )
+from .saturation import (
+    DEFAULT_CLIENTS as SATURATION_CLIENTS,
+    DEFAULT_REQUESTS as SATURATION_REQUESTS,
+)
+from ..services.admission import SCHEDULING_POLICIES
 
 
 def _session(args):
@@ -112,6 +117,39 @@ def _fig5(args) -> str:
     return _finish_trace(args, session, out)
 
 
+def _saturation(args) -> str:
+    from .saturation import rows_to_json, run_saturation
+
+    session = _session(args)
+    results = run_saturation(clients=tuple(args.clients),
+                             requests=args.requests,
+                             capacity=args.capacity,
+                             policy=args.policy)
+    titles = {
+        "admission_off": "Saturation: admission off (unbounded queueing)",
+        "admission_on": (f"Saturation: admission on (capacity "
+                         f"{args.capacity}, {args.policy})"),
+        "admission_on_throttled":
+            "Saturation: admission on + client throttle (latency "
+            "includes deliberate client pacing)",
+    }
+    out = "\n\n".join(format_table(rows, titles[series])
+                      for series, rows in results.items())
+    if args.plot:
+        clients = [r.clients for r in results["admission_off"]]
+        out += "\n\n" + ascii_chart(
+            clients,
+            {series: [r.p99_ms for r in rows]
+             for series, rows in results.items()},
+            title="Accepted-request p99 (ms) vs closed-loop clients",
+            x_label="clients")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(rows_to_json(results))
+        out += f"\n\nJSON written to {args.json_out}"
+    return _finish_trace(args, session, out)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -154,6 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--repeats", type=int, default=1)
     p5.add_argument("--jitter", type=float, default=0.0)
     p5.set_defaults(run=_fig5)
+
+    ps = sub.add_parser(
+        "saturation",
+        help="offered-load sweep: admission control evidence "
+             "(repro.services; not a paper figure)")
+    ps.add_argument("--clients", type=int, nargs="+",
+                    default=list(SATURATION_CLIENTS))
+    ps.add_argument("--requests", type=int, default=SATURATION_REQUESTS)
+    ps.add_argument("--capacity", type=int, default=4)
+    ps.add_argument("--policy", choices=list(SCHEDULING_POLICIES),
+                    default="fifo")
+    ps.add_argument("--json", dest="json_out", metavar="OUT.json",
+                    default=None,
+                    help="write all series as JSON (the CI artifact)")
+    ps.set_defaults(run=_saturation)
 
     pall = sub.add_parser("all", help="every figure at paper scale")
     pall.set_defaults(run=None)

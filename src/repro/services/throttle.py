@@ -1,0 +1,97 @@
+"""Client-side throttling: the client half of the backpressure contract.
+
+Admission-controlled servers annotate replies two ways (see
+:mod:`repro.services.admission`): a ``pardis.backpressure`` hint when
+their queue passes its high watermark, and a ``pardis.overload`` marker
+on shed requests.  The :class:`ThrottleInterceptor` honors both with
+jittered exponential backoff, charged as compute time *before* the next
+request leaves the same client thread — so a backed-off client thread
+simply offers load later, which is exactly what the saturation
+experiment measures.
+
+Jitter comes from a seeded ``random.Random`` so simulations stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.pipeline.interceptors import ClientRequestInfo, RequestInterceptor
+from ..core.request import BACKPRESSURE_CONTEXT, OVERLOAD_CONTEXT
+
+__all__ = ["ThrottleInterceptor"]
+
+
+class ThrottleInterceptor(RequestInterceptor):
+    """Backs off request emission per client thread.
+
+    * an **overload** reply (request shed) multiplies the thread's delay
+      (``base_backoff`` at first, then exponential up to ``max_backoff``);
+    * a **backpressure** hint on any reply raises the delay to at least
+      the server's suggested value;
+    * a clean reply with no hint decays the delay toward zero.
+
+    Every applied delay is jittered by up to ±``jitter`` (fraction) to
+    de-synchronize retrying clients.
+    """
+
+    name = "throttle"
+
+    def __init__(self, base_backoff: float = 1e-3, multiplier: float = 2.0,
+                 max_backoff: float = 0.25, decay: float = 0.5,
+                 jitter: float = 0.2, seed: int = 0) -> None:
+        self.base_backoff = base_backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.decay = decay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        #: (program_id, thread rank) -> current pre-send delay
+        self._delay: dict[tuple, float] = {}
+        #: counters for tests / metrics
+        self.throttled = 0
+        self.total_backoff = 0.0
+
+    def _key(self, info: ClientRequestInfo) -> tuple:
+        return (info.ctx.program.program_id, info.ctx.rank)
+
+    def _jittered(self, delay: float) -> float:
+        if self.jitter <= 0.0:
+            return delay
+        return delay * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+
+    # -- interception points -------------------------------------------------
+
+    def send_request(self, info: ClientRequestInfo) -> None:
+        delay = self._delay.get(self._key(info), 0.0)
+        if delay > 0.0:
+            pause = self._jittered(delay)
+            self.throttled += 1
+            self.total_backoff += pause
+            info.ctx.compute(pause)
+
+    def receive_reply(self, info: ClientRequestInfo) -> None:
+        key = self._key(info)
+        hint = info.reply_service_contexts.get(BACKPRESSURE_CONTEXT)
+        if hint:
+            self._delay[key] = min(self.max_backoff,
+                                   max(self._delay.get(key, 0.0), hint))
+            return
+        current = self._delay.get(key, 0.0)
+        if current > 0.0:
+            decayed = current * self.decay
+            if decayed < self.base_backoff / 4.0:
+                self._delay.pop(key, None)
+            else:
+                self._delay[key] = decayed
+
+    def receive_exception(self, info: ClientRequestInfo) -> None:
+        if not info.reply_service_contexts.get(OVERLOAD_CONTEXT):
+            return
+        key = self._key(info)
+        current = self._delay.get(key, 0.0)
+        grown = (self.base_backoff if current <= 0.0
+                 else current * self.multiplier)
+        hint = info.reply_service_contexts.get(BACKPRESSURE_CONTEXT, 0.0)
+        self._delay[key] = min(self.max_backoff, max(grown, hint))

@@ -398,6 +398,61 @@ def attach_metrics(world) -> MetricsRegistry:
             dead.labels(kind="arg").set(orb.dead_fragments)
             dead.labels(kind="result").set(orb.dead_result_fragments)
 
+    if orb is not None:
+        # Services layer (repro.services): admission controllers register
+        # themselves on the ORB as POAs enable them, and replica groups
+        # are created lazily on first policy bind — so both collectors
+        # iterate the live lists at snapshot time instead of at attach.
+        admission = reg.counter(
+            "pardis_admission_requests_total",
+            "admission-control outcomes per server program",
+            ("program", "outcome"))
+        queue_depth = reg.gauge(
+            "pardis_admission_queue_depth",
+            "currently queued requests per admission-controlled program",
+            ("program",))
+        queue_wait = reg.gauge(
+            "pardis_admission_wait_seconds_total",
+            "total virtual seconds served requests spent queued",
+            ("program",))
+
+        @reg.register_collector
+        def _collect_admission() -> None:
+            for adm in orb.admission_controllers:
+                prog = adm.program_name or "unattached"
+                admission.labels(program=prog, outcome="accepted").set(
+                    adm.accepted)
+                admission.labels(program=prog, outcome="shed").set(adm.shed)
+                admission.labels(program=prog, outcome="served").set(
+                    adm.served)
+                queue_depth.labels(program=prog).set(adm.queue_depth)
+                queue_wait.labels(program=prog).set(adm.total_wait)
+
+        replica_events = reg.counter(
+            "pardis_replica_events_total",
+            "replica-group health/failover events per object name",
+            ("object", "event"))
+        replica_load = reg.gauge(
+            "pardis_replica_load",
+            "last reported load fraction per replica program id",
+            ("object", "program_id"))
+
+        @reg.register_collector
+        def _collect_replicas() -> None:
+            for (_, name), group in orb._replica_groups.items():
+                replica_events.labels(object=name, event="failover").set(
+                    group.failovers)
+                replica_events.labels(object=name, event="suspect").set(
+                    group.suspects)
+                replica_events.labels(object=name, event="dead").set(
+                    group.deaths)
+                replica_events.labels(object=name, event="reactivation").set(
+                    group.reactivations)
+                replica_events.labels(object=name, event="selection").set(
+                    group.selections)
+                for pid, load in group.known_loads().items():
+                    replica_load.labels(object=name, program_id=pid).set(load)
+
     meter = world.services.get("compute_meter")
     if meter is not None:
         busy = reg.gauge("pardis_compute_busy_seconds",

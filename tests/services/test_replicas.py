@@ -1,0 +1,232 @@
+"""Replica groups: selection policies, repository replica lists, health
+probing, and policy-driven binding."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import Simulation
+from repro.core.repository import ObjectRef, ObjectRepository
+from repro.idl import compile_idl
+from repro.services import (
+    ALIVE,
+    DEAD,
+    LeastLoaded,
+    LocalityAware,
+    RoundRobin,
+    SelectionPolicy,
+    make_policy,
+)
+
+IDL = """
+    interface echoer {
+        long echo(in long x);
+    };
+"""
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return compile_idl(IDL, module_name="replica_stubs")
+
+
+def _ref(name="o", program_id=0, host="h"):
+    return ObjectRef(name=name, repo_id="IDL:x:1.0", kind="spmd",
+                     program_id=program_id, host=host, nthreads=1,
+                     owner_rank=0, endpoints=())
+
+
+def _group(loads=None):
+    return SimpleNamespace(_rotation=0,
+                           known_loads=lambda: dict(loads or {}))
+
+
+class TestPolicies:
+    def test_make_policy_coerces_names_and_instances(self):
+        assert isinstance(make_policy("round_robin"), RoundRobin)
+        assert isinstance(make_policy("least_loaded"), LeastLoaded)
+        assert isinstance(make_policy("locality"), LocalityAware)
+        rr = RoundRobin()
+        assert make_policy(rr) is rr
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown selection policy"):
+            make_policy("random")
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SelectionPolicy().choose(_group(), None, [_ref()])
+
+    def test_round_robin_rotates(self):
+        group = _group()
+        refs = [_ref(program_id=i) for i in range(3)]
+        picked = [RoundRobin().choose(group, None, refs).program_id
+                  for _ in range(5)]
+        assert picked == [0, 1, 2, 0, 1]
+
+    def test_least_loaded_prefers_low_unreported_idle(self):
+        refs = [_ref(program_id=i) for i in range(3)]
+        # Replica 0 busy, replica 1 idle, replica 2 never reported.
+        group = _group(loads={0: 0.9, 1: 0.0})
+        picked = LeastLoaded().choose(group, None, refs)
+        assert picked.program_id in (1, 2)    # both count as idle
+
+    def test_least_loaded_ties_rotate(self):
+        refs = [_ref(program_id=i) for i in range(2)]
+        group = _group()
+        picked = [LeastLoaded().choose(group, None, refs).program_id
+                  for _ in range(4)]
+        assert picked == [0, 1, 0, 1]
+
+    def test_locality_prefers_local_host_falls_back(self):
+        ctx = SimpleNamespace(program=SimpleNamespace(host="A"))
+        refs = [_ref(program_id=0, host="B"), _ref(program_id=1, host="A")]
+        group = _group()
+        assert LocalityAware().choose(group, ctx, refs).program_id == 1
+        far_ctx = SimpleNamespace(program=SimpleNamespace(host="C"))
+        picked = [LocalityAware().choose(group, far_ctx, refs).program_id
+                  for _ in range(2)]
+        assert sorted(picked) == [0, 1]       # no local replica: full set
+
+
+class TestReplicaRepository:
+    def test_lookup_all_returns_replicas_in_order(self):
+        repo = ObjectRepository()
+        repo.register(_ref("a", program_id=1))
+        repo.register(_ref("a", program_id=2), replica=True)
+        assert [r.program_id for r in repo.lookup_all("a")] == [1, 2]
+        assert repo.lookup("a").program_id == 1
+        assert repo.lookup_all("ghost") == ()
+
+    def test_second_program_requires_replica_flag(self):
+        repo = ObjectRepository()
+        repo.register(_ref("a", program_id=1))
+        with pytest.raises(ValueError, match="replica=True"):
+            repo.register(_ref("a", program_id=2))
+
+    def test_same_program_rejected_even_as_replica(self):
+        repo = ObjectRepository()
+        repo.register(_ref("a", program_id=1))
+        with pytest.raises(ValueError, match="already"):
+            repo.register(_ref("a", program_id=1), replica=True)
+
+    def test_unregister_by_program_id(self):
+        repo = ObjectRepository()
+        repo.register(_ref("a", program_id=1))
+        repo.register(_ref("a", program_id=2), replica=True)
+        repo.unregister("a", program_id=1)
+        assert [r.program_id for r in repo.lookup_all("a")] == [2]
+        repo.unregister("a", program_id=2)
+        assert not repo.contains("a")
+        repo.unregister("a", program_id=2)    # idempotent
+
+
+def replica_server(mod, name, log):
+    def server_main(ctx):
+        class Impl(mod.echoer_skel):
+            def echo(self, x):
+                log.append(x)
+                return x
+
+        ctx.poa.activate(Impl(), name, kind="spmd", replica=True)
+        ctx.poa.impl_is_ready()
+
+    return server_main
+
+
+class TestReplicaBinding:
+    def test_round_robin_spreads_binds_across_replicas(self, mod):
+        sim = Simulation()
+        log_a, log_b = [], []
+        sim.server(replica_server(mod, "dup", log_a), host="HOST_2",
+                   nprocs=1)
+        sim.server(replica_server(mod, "dup", log_b), host="HOST_2",
+                   nprocs=1, node_offset=1)
+
+        def client(ctx, value):
+            p = mod.echoer._bind("dup", policy="round_robin")
+            assert p.echo(value) == value
+
+        sim.client(client, host="HOST_1", args=(1,))
+        sim.client(client, host="HOST_1", node_offset=1, args=(2,))
+        sim.run()
+        # One bind landed on each replica.
+        assert len(log_a) == len(log_b) == 1
+        group = sim.orb.replica_group("dup")
+        assert group.selections == 2
+        assert all(h == ALIVE for h in group.health.values())
+
+    def test_locality_prefers_replica_on_own_host(self, mod):
+        sim = Simulation()
+        local_log, remote_log = [], []
+        sim.server(replica_server(mod, "near", remote_log), host="HOST_2",
+                   nprocs=1)
+        sim.server(replica_server(mod, "near", local_log), host="HOST_1",
+                   nprocs=1, node_offset=2)
+
+        def client(ctx):
+            p = mod.echoer._bind("near", policy="locality")
+            for i in range(3):
+                assert p.echo(i) == i
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert len(local_log) == 3
+        assert remote_log == []
+
+    def test_unknown_policy_raises_at_bind(self, mod):
+        sim = Simulation()
+        log = []
+        sim.server(replica_server(mod, "solo", log), host="HOST_2",
+                   nprocs=1)
+        out = {}
+
+        def client(ctx):
+            with pytest.raises(ValueError, match="unknown selection"):
+                mod.echoer._bind("solo", policy="fastest")
+            out["ok"] = True
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert out["ok"]
+
+    def test_probe_all_marks_dead_replica(self, mod):
+        sim = Simulation()
+        log = []
+
+        def mortal_server(ctx):
+            class Impl(mod.echoer_skel):
+                def __init__(self):
+                    self.served = 0
+
+                def echo(self, x):
+                    self.served += 1
+                    log.append(x)
+                    return x
+
+            servant = Impl()
+            ctx.poa.activate(servant, "mortal", kind="spmd", replica=True)
+            while servant.served < 1:
+                ctx.poa.process_requests()
+                ctx.compute(1e-3)
+            # Exit without deactivating: a crash leaves a stale ref.
+
+        sim.server(mortal_server, host="HOST_2", nprocs=1)
+        sim.server(replica_server(mod, "mortal", []), host="HOST_2",
+                   nprocs=1, node_offset=1)
+        health = {}
+
+        def client(ctx):
+            p = mod.echoer._bind("mortal", policy="round_robin")
+            assert p.echo(5) == 5             # served, then server exits
+            ctx.compute(10e-3)                # let it wind down
+            group = ctx.orb.replica_group("mortal")
+            health.update(group.probe_all(ctx))
+            health["deaths"] = group.deaths
+
+        sim.client(client, host="HOST_1")
+        sim.run()
+        assert DEAD in health.values()
+        assert health["deaths"] == 1
+        # The dead replica was unregistered; one survivor remains.
+        assert len(sim.orb.repository("default").lookup_all("mortal")) == 1

@@ -2,6 +2,7 @@
 narrative output it promises."""
 
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -84,3 +85,17 @@ def test_parameter_study():
     assert r.returncode == 0, r.stderr
     assert "best regularization" in r.stdout
     assert "farm speedup" in r.stdout
+
+
+def test_replicated_service():
+    r = run_example("replicated_service.py")
+    assert r.returncode == 0, r.stderr
+    assert "[replica-0] crashing" in r.stdout
+    assert "failovers=" in r.stdout
+    assert "deaths=1" in r.stdout
+    assert "'dead'" in r.stdout
+    # Every accepted request completed: no client reports fewer than
+    # REQUESTS outcomes, and ok+shed always totals REQUESTS.
+    counts = re.findall(r"ok=(\d+) shed=(\d+)", r.stdout)
+    assert len(counts) == 8
+    assert all(int(ok) + int(shed) == 12 for ok, shed in counts)
